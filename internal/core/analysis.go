@@ -1,0 +1,327 @@
+// Package core implements the paper's analyses: SEQUITUR-based temporal
+// stream identification (Section 3), miss-fraction breakdowns (Figure 2),
+// the stride/repetition joint classification (Figure 3), stream-length and
+// reuse-distance distributions (Figure 4), and the code-module attribution
+// tables (Tables 3-5).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sequitur"
+	"repro/internal/stats"
+	"repro/internal/stride"
+	"repro/internal/trace"
+)
+
+// StreamState classifies one miss's relation to temporal streams
+// (Figure 2's three segments).
+type StreamState uint8
+
+const (
+	// NonRepetitive: the miss is not part of any repeated sequence of
+	// length >= 2.
+	NonRepetitive StreamState = iota
+	// NewStream: the miss lies in the first occurrence of one or more
+	// temporal streams (and in no recurring occurrence).
+	NewStream
+	// Recurring: the miss lies in the second or later occurrence of some
+	// temporal stream.
+	Recurring
+)
+
+func (s StreamState) String() string {
+	switch s {
+	case NonRepetitive:
+		return "Non-repetitive"
+	case NewStream:
+		return "New stream"
+	default:
+		return "Recurring stream"
+	}
+}
+
+// Instance is one occurrence of a temporal stream: a maximal repeated
+// subsequence in the derivation (a rule instance appearing directly under
+// the grammar's root).
+type Instance struct {
+	RuleID     int
+	Occurrence int // 1 = first occurrence of this rule at top level
+	Pos        int // starting miss index
+	Len        int // misses covered
+}
+
+// Options tunes an analysis.
+type Options struct {
+	// MaxMisses truncates the input trace (SEQUITUR and the derivation
+	// walk are linear, but memory is ~100 bytes/miss). 0 means the
+	// default of 400k.
+	MaxMisses int
+	// ReuseTruncate drops reuse distances above this many misses, as the
+	// paper truncates its distributions at 10^7. 0 means 10^7.
+	ReuseTruncate uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMisses == 0 {
+		o.MaxMisses = 400000
+	}
+	if o.ReuseTruncate == 0 {
+		o.ReuseTruncate = 10_000_000
+	}
+	return o
+}
+
+// Analysis is the full temporal-stream analysis of one miss trace.
+type Analysis struct {
+	Misses []trace.Miss
+	CPUs   int
+
+	// Per-miss classifications.
+	State   []StreamState
+	Strided []bool
+
+	// Top-level stream instances in trace order.
+	Instances []Instance
+
+	// LengthDist is the distribution of stream-occurrence lengths weighted
+	// by length (each occurrence contributes its misses), Figure 4 left.
+	LengthDist *stats.WeightedSample
+	// ReuseDist is the distribution of distances between consecutive
+	// occurrences of the same stream, measured in intervening misses on
+	// the first processor and weighted by the recurring occurrence's
+	// length, Figure 4 right.
+	ReuseDist *stats.LogHistogram
+
+	grammarRules int
+}
+
+// Analyze runs the complete stream analysis over tr.
+func Analyze(tr *trace.Trace, opts Options) *Analysis {
+	opts = opts.withDefaults()
+	misses := tr.Misses
+	if len(misses) > opts.MaxMisses {
+		misses = misses[:opts.MaxMisses]
+	}
+	a := &Analysis{
+		Misses:     misses,
+		CPUs:       tr.CPUs,
+		State:      make([]StreamState, len(misses)),
+		Strided:    make([]bool, len(misses)),
+		LengthDist: &stats.WeightedSample{},
+		ReuseDist:  stats.NewLogHistogram(10),
+	}
+	if len(misses) == 0 {
+		return a
+	}
+
+	// Stride classification (independent of repetition; Section 4.3).
+	det := stride.New(tr.CPUs)
+	for i := range misses {
+		a.Strided[i] = det.Observe(int(misses[i].CPU), misses[i].Addr)
+	}
+
+	// SEQUITUR over the block-address sequence.
+	g := sequitur.New()
+	for i := range misses {
+		g.Append(misses[i].Addr)
+	}
+	a.grammarRules = g.RuleCount()
+
+	// Walk the derivation: mark per-miss stream state and collect
+	// top-level instances.
+	topOcc := make(map[int]int)
+	v := &walker{a: a, topOcc: topOcc}
+	g.Walk(v)
+
+	// Reuse distances between consecutive top-level occurrences of the
+	// same rule: count intervening misses on the processor that observed
+	// the first occurrence (Section 4.5).
+	a.computeReuseDistances(opts)
+	return a
+}
+
+// walker implements sequitur.DerivationVisitor: a miss is Recurring if any
+// enclosing rule instance is the second-or-later occurrence of its rule,
+// NewStream if it lies only inside first occurrences, NonRepetitive if it
+// hangs directly off the root.
+type walker struct {
+	a        *Analysis
+	topOcc   map[int]int
+	recStack []bool
+	recDepth int
+}
+
+func (w *walker) EnterRule(ruleID, occurrence, pos, length, depth int) {
+	if depth == 1 {
+		w.topOcc[ruleID]++
+		w.a.Instances = append(w.a.Instances, Instance{
+			RuleID:     ruleID,
+			Occurrence: w.topOcc[ruleID],
+			Pos:        pos,
+			Len:        length,
+		})
+		w.a.LengthDist.Add(float64(length), float64(length))
+	}
+	rec := occurrence >= 2
+	w.recStack = append(w.recStack, rec)
+	if rec {
+		w.recDepth++
+	}
+}
+
+func (w *walker) Terminal(pos int, val uint64, depth int) {
+	switch {
+	case depth == 0:
+		w.a.State[pos] = NonRepetitive
+	case w.recDepth > 0:
+		w.a.State[pos] = Recurring
+	default:
+		w.a.State[pos] = NewStream
+	}
+}
+
+func (w *walker) ExitRule(ruleID, pos, length, depth int) {
+	n := len(w.recStack) - 1
+	if w.recStack[n] {
+		w.recDepth--
+	}
+	w.recStack = w.recStack[:n]
+}
+
+// computeReuseDistances fills ReuseDist.
+func (a *Analysis) computeReuseDistances(opts Options) {
+	// Positions of misses per CPU for interval counting.
+	perCPU := make([][]int, a.CPUs)
+	for i := range a.Misses {
+		c := int(a.Misses[i].CPU)
+		perCPU[c] = append(perCPU[c], i)
+	}
+	countBetween := func(cpu, lo, hi int) uint64 {
+		// misses by cpu in positions [lo, hi)
+		list := perCPU[cpu]
+		l := sort.SearchInts(list, lo)
+		r := sort.SearchInts(list, hi)
+		return uint64(r - l)
+	}
+	last := make(map[int]Instance)
+	for _, inst := range a.Instances {
+		prev, seen := last[inst.RuleID]
+		if seen {
+			firstCPU := int(a.Misses[prev.Pos].CPU)
+			d := countBetween(firstCPU, prev.Pos+prev.Len, inst.Pos)
+			if d <= opts.ReuseTruncate {
+				a.ReuseDist.Add(float64(d), float64(inst.Len))
+			}
+		}
+		last[inst.RuleID] = inst
+	}
+}
+
+// Fractions returns the Figure 2 breakdown: fraction of misses that are
+// non-repetitive, in a new stream, and in a recurring stream.
+func (a *Analysis) Fractions() (nonRep, newStream, recurring float64) {
+	if len(a.State) == 0 {
+		return 0, 0, 0
+	}
+	var counts [3]int
+	for _, s := range a.State {
+		counts[s]++
+	}
+	n := float64(len(a.State))
+	return float64(counts[NonRepetitive]) / n,
+		float64(counts[NewStream]) / n,
+		float64(counts[Recurring]) / n
+}
+
+// InStreams reports whether miss i is part of a temporal stream.
+func (a *Analysis) InStreams(i int) bool { return a.State[i] != NonRepetitive }
+
+// StreamFraction returns the total fraction of misses inside temporal
+// streams (new + recurring).
+func (a *Analysis) StreamFraction() float64 {
+	nr, ns, rc := a.Fractions()
+	_ = nr
+	return ns + rc
+}
+
+// StrideJoint returns the Figure 3 joint breakdown, in the paper's
+// stacking order: repetitive-strided, repetitive-non-strided,
+// non-repetitive-non-strided, non-repetitive-strided.
+func (a *Analysis) StrideJoint() (repStr, repNon, nonNon, nonStr float64) {
+	if len(a.State) == 0 {
+		return
+	}
+	var rs, rn, nn, ns int
+	for i := range a.State {
+		rep := a.State[i] != NonRepetitive
+		switch {
+		case rep && a.Strided[i]:
+			rs++
+		case rep && !a.Strided[i]:
+			rn++
+		case !rep && !a.Strided[i]:
+			nn++
+		default:
+			ns++
+		}
+	}
+	n := float64(len(a.State))
+	return float64(rs) / n, float64(rn) / n, float64(nn) / n, float64(ns) / n
+}
+
+// MedianStreamLength returns the 50th percentile of the length-weighted
+// stream length distribution.
+func (a *Analysis) MedianStreamLength() float64 { return a.LengthDist.Quantile(0.5) }
+
+// GrammarRules returns the number of distinct temporal streams (live
+// SEQUITUR rules).
+func (a *Analysis) GrammarRules() int { return a.grammarRules }
+
+// CategoryRow is one line of the paper's Tables 3-5.
+type CategoryRow struct {
+	Category trace.Category
+	// MissFrac is the category's share of all misses.
+	MissFrac float64
+	// StreamFrac is the share of all misses that are in this category AND
+	// inside a temporal stream (the tables' "% in streams" column).
+	StreamFrac float64
+}
+
+// CategoryTable aggregates the module-attribution table over the given
+// category list (plus CatUnknown first, as in the paper). st resolves each
+// miss's function to its category.
+func (a *Analysis) CategoryTable(st *trace.SymbolTable, cats []trace.Category) []CategoryRow {
+	idx := make(map[trace.Category]int, len(cats)+1)
+	rows := make([]CategoryRow, 0, len(cats)+1)
+	add := func(c trace.Category) {
+		idx[c] = len(rows)
+		rows = append(rows, CategoryRow{Category: c})
+	}
+	add(trace.CatUnknown)
+	for _, c := range cats {
+		add(c)
+	}
+	if len(a.Misses) == 0 {
+		return rows
+	}
+	miss := make([]int, len(rows))
+	inStream := make([]int, len(rows))
+	for i := range a.Misses {
+		c := st.CategoryOf(a.Misses[i].Func)
+		j, ok := idx[c]
+		if !ok {
+			j = idx[trace.CatUnknown]
+		}
+		miss[j]++
+		if a.InStreams(i) {
+			inStream[j]++
+		}
+	}
+	n := float64(len(a.Misses))
+	for j := range rows {
+		rows[j].MissFrac = float64(miss[j]) / n
+		rows[j].StreamFrac = float64(inStream[j]) / n
+	}
+	return rows
+}

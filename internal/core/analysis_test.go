@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/trace"
+)
+
+// mkTrace builds a single-CPU trace from block indices.
+func mkTrace(blocks ...uint64) *trace.Trace {
+	tr := &trace.Trace{CPUs: 1}
+	for _, b := range blocks {
+		tr.Append(trace.Miss{Addr: b << 6, CPU: 0})
+	}
+	return tr
+}
+
+func TestEmptyTrace(t *testing.T) {
+	a := Analyze(&trace.Trace{CPUs: 1}, Options{})
+	if a.StreamFraction() != 0 || len(a.Instances) != 0 {
+		t.Error("empty trace should yield empty analysis")
+	}
+}
+
+func TestAllUniqueIsNonRepetitive(t *testing.T) {
+	a := Analyze(mkTrace(1, 2, 3, 4, 5, 6, 7, 8), Options{})
+	nr, ns, rc := a.Fractions()
+	if nr != 1 || ns != 0 || rc != 0 {
+		t.Errorf("fractions = %v %v %v, want 1 0 0", nr, ns, rc)
+	}
+}
+
+func TestSimpleRepetition(t *testing.T) {
+	// a b c d | a b c d : the second occurrence must be recurring and the
+	// first must become a new stream.
+	a := Analyze(mkTrace(1, 2, 3, 4, 1, 2, 3, 4), Options{})
+	nr, ns, rc := a.Fractions()
+	if nr != 0 {
+		t.Errorf("non-repetitive = %v, want 0", nr)
+	}
+	if ns != 0.5 || rc != 0.5 {
+		t.Errorf("new/recurring = %v/%v, want 0.5/0.5", ns, rc)
+	}
+	if got := a.MedianStreamLength(); got != 4 {
+		t.Errorf("median length = %v, want 4", got)
+	}
+}
+
+func TestRepetitionWithNoise(t *testing.T) {
+	// Distinct noise blocks around two occurrences of a 3-block stream.
+	a := Analyze(mkTrace(100, 1, 2, 3, 101, 102, 1, 2, 3, 103), Options{})
+	nr, ns, rc := a.Fractions()
+	if ns != 0.3 || rc != 0.3 {
+		t.Errorf("new/recurring = %v/%v, want 0.3/0.3", ns, rc)
+	}
+	if nr != 0.4 {
+		t.Errorf("non-repetitive = %v, want 0.4", nr)
+	}
+}
+
+func TestReuseDistanceSingleCPU(t *testing.T) {
+	// Stream of length 3 at positions 0 and 8: 5 intervening misses.
+	a := Analyze(mkTrace(1, 2, 3, 10, 11, 12, 13, 14, 1, 2, 3), Options{})
+	if a.ReuseDist.Total() == 0 {
+		t.Fatal("no reuse distances recorded")
+	}
+	bs := a.ReuseDist.Buckets()
+	// distance 5 lands in bucket [1,10).
+	found := false
+	for _, b := range bs {
+		if b.Lo <= 5 && 5 < b.Hi && b.Weight > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("distance 5 not in histogram: %+v", bs)
+	}
+}
+
+func TestReuseDistanceCountsFirstProcessorOnly(t *testing.T) {
+	// CPU0 sees the stream twice; between occurrences, CPU1 issues many
+	// misses that must NOT count toward the distance.
+	tr := &trace.Trace{CPUs: 2}
+	add := func(cpu int, blocks ...uint64) {
+		for _, b := range blocks {
+			tr.Append(trace.Miss{Addr: b << 6, CPU: uint8(cpu)})
+		}
+	}
+	add(0, 1, 2, 3)
+	add(1, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61)
+	add(0, 200, 201) // two intervening misses on cpu0
+	add(0, 1, 2, 3)
+	a := Analyze(tr, Options{})
+	// The recorded distance must be 2 (cpu0's misses), not 14.
+	bs := a.ReuseDist.Buckets()
+	var got float64 = -1
+	for _, b := range bs {
+		if b.Weight > 0 {
+			got = b.Lo
+			break
+		}
+	}
+	if got != 1 { // distance 2 falls in bucket [1,10)
+		t.Errorf("first populated bucket starts at %v, want 1 ([1,10) holding distance 2)", got)
+	}
+	if a.ReuseDist.Total() != 3 { // weighted by recurring length
+		t.Errorf("reuse mass = %v, want 3", a.ReuseDist.Total())
+	}
+}
+
+func TestStrideJointTotalsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := &trace.Trace{CPUs: 2}
+	base := uint64(1 << 20)
+	for i := 0; i < 500; i++ {
+		var addr uint64
+		if i%3 == 0 {
+			addr = base + uint64(i)*memmap.BlockSize // strided component
+		} else {
+			addr = uint64(rng.Intn(10000)) << 6
+		}
+		tr.Append(trace.Miss{Addr: addr, CPU: uint8(i % 2)})
+	}
+	a := Analyze(tr, Options{})
+	rs, rn, nn, ns := a.StrideJoint()
+	sum := rs + rn + nn + ns
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("joint fractions sum to %v", sum)
+	}
+}
+
+func TestStreamFractionRisesWithRepetition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Random trace: low repetition. Loop trace: near-total repetition.
+	var random, loop []uint64
+	for i := 0; i < 4000; i++ {
+		random = append(random, uint64(rng.Intn(1_000_000)))
+		loop = append(loop, uint64(i%37))
+	}
+	ar := Analyze(mkTrace(random...), Options{})
+	al := Analyze(mkTrace(loop...), Options{})
+	if ar.StreamFraction() > 0.2 {
+		t.Errorf("random trace stream fraction = %v, want < 0.2", ar.StreamFraction())
+	}
+	if al.StreamFraction() < 0.95 {
+		t.Errorf("loop trace stream fraction = %v, want > 0.95", al.StreamFraction())
+	}
+}
+
+func TestCategoryTable(t *testing.T) {
+	as := memmap.New()
+	st := trace.NewSymbolTable(as)
+	fa := st.Register("fa", trace.CatScheduler, 0)
+	fb := st.Register("fb", trace.CatBulkCopy, 0)
+
+	tr := &trace.Trace{CPUs: 1}
+	// fa misses form a repeated stream; fb misses are unique.
+	seq := []uint64{1, 2, 3, 1, 2, 3}
+	for _, b := range seq {
+		tr.Append(trace.Miss{Addr: b << 6, CPU: 0, Func: fa})
+	}
+	for i := uint64(0); i < 6; i++ {
+		tr.Append(trace.Miss{Addr: (1000 + i) << 6, CPU: 0, Func: fb})
+	}
+	a := Analyze(tr, Options{})
+	rows := a.CategoryTable(st, []trace.Category{trace.CatScheduler, trace.CatBulkCopy})
+	byCat := map[trace.Category]CategoryRow{}
+	for _, r := range rows {
+		byCat[r.Category] = r
+	}
+	if got := byCat[trace.CatScheduler]; got.MissFrac != 0.5 || got.StreamFrac != 0.5 {
+		t.Errorf("scheduler row = %+v, want 0.5/0.5", got)
+	}
+	if got := byCat[trace.CatBulkCopy]; got.MissFrac != 0.5 || got.StreamFrac != 0 {
+		t.Errorf("copy row = %+v, want 0.5/0.0", got)
+	}
+}
+
+func TestMaxMissesTruncation(t *testing.T) {
+	var blocks []uint64
+	for i := 0; i < 1000; i++ {
+		blocks = append(blocks, uint64(i%10))
+	}
+	a := Analyze(mkTrace(blocks...), Options{MaxMisses: 100})
+	if len(a.Misses) != 100 || len(a.State) != 100 {
+		t.Errorf("truncation failed: %d misses", len(a.Misses))
+	}
+}
+
+func TestInstancesCoverStreamMisses(t *testing.T) {
+	// Property: total instance length equals the number of in-stream
+	// misses (top-level instances partition stream-covered positions).
+	rng := rand.New(rand.NewSource(17))
+	var blocks []uint64
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(2) == 0 {
+			blocks = append(blocks, uint64(rng.Intn(40)))
+		} else {
+			blocks = append(blocks, uint64(100000+i))
+		}
+	}
+	a := Analyze(mkTrace(blocks...), Options{})
+	totalInst := 0
+	for _, inst := range a.Instances {
+		totalInst += inst.Len
+	}
+	inStream := 0
+	for i := range a.State {
+		if a.InStreams(i) {
+			inStream++
+		}
+	}
+	if totalInst != inStream {
+		t.Errorf("instance coverage %d != stream misses %d", totalInst, inStream)
+	}
+}

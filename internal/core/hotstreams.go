@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// HotStream summarizes one temporal stream (one SEQUITUR rule) ranked by
+// heat = length x occurrences, the metric of Chilimbi & Hirzel's hot data
+// streams ([7] in the paper). Functions ties the stream back to the code
+// that produced it, the link Section 5 of the paper establishes manually.
+type HotStream struct {
+	RuleID      int
+	Length      int // expansion length in misses
+	Occurrences int // top-level occurrences in the trace
+	Heat        int // Length * Occurrences = misses covered
+	// Functions lists the distinct functions whose misses make up the
+	// stream's first occurrence, in first-touch order (capped at 8).
+	Functions []trace.FuncID
+	// HeadAddr is the stream's first miss address (streams are "generally
+	// distinguishable based on their initial head address", Section 2.1).
+	HeadAddr uint64
+}
+
+// HotStreams ranks the trace's temporal streams by heat and returns the
+// top n (n <= 0 returns all).
+func (a *Analysis) HotStreams(n int) []HotStream {
+	type acc struct {
+		length, occ int
+		firstPos    int
+	}
+	byRule := make(map[int]*acc)
+	for _, inst := range a.Instances {
+		s := byRule[inst.RuleID]
+		if s == nil {
+			s = &acc{length: inst.Len, firstPos: inst.Pos}
+			byRule[inst.RuleID] = s
+		}
+		s.occ++
+	}
+	out := make([]HotStream, 0, len(byRule))
+	for id, s := range byRule {
+		hs := HotStream{
+			RuleID:      id,
+			Length:      s.length,
+			Occurrences: s.occ,
+			Heat:        s.length * s.occ,
+			HeadAddr:    a.Misses[s.firstPos].Addr,
+		}
+		seen := make(map[trace.FuncID]bool)
+		for p := s.firstPos; p < s.firstPos+s.length && p < len(a.Misses); p++ {
+			f := a.Misses[p].Func
+			if !seen[f] {
+				seen[f] = true
+				if len(hs.Functions) < 8 {
+					hs.Functions = append(hs.Functions, f)
+				}
+			}
+		}
+		out = append(out, hs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Heat != out[j].Heat {
+			return out[i].Heat > out[j].Heat
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// CoverageOfTop returns the fraction of all misses covered by the k
+// hottest streams - the "no obvious, dominant memory bottlenecks remain"
+// check of the paper's conclusion: in tuned commercial workloads this
+// curve rises slowly.
+func (a *Analysis) CoverageOfTop(k int) float64 {
+	if len(a.Misses) == 0 {
+		return 0
+	}
+	hot := a.HotStreams(k)
+	covered := 0
+	for _, h := range hot {
+		covered += h.Heat
+	}
+	frac := float64(covered) / float64(len(a.Misses))
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memmap"
+	"repro/internal/trace"
+)
+
+func TestHotStreamsRanking(t *testing.T) {
+	// Stream A (len 4) occurs 3x; stream B (len 2) occurs 2x; noise.
+	var blocks []uint64
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{50, 51}
+	noise := uint64(1000)
+	emit := func(seq []uint64) {
+		blocks = append(blocks, seq...)
+		blocks = append(blocks, noise)
+		noise++
+	}
+	emit(a)
+	emit(b)
+	emit(a)
+	emit(b)
+	emit(a)
+
+	an := Analyze(mkTrace(blocks...), Options{})
+	hot := an.HotStreams(0)
+	if len(hot) == 0 {
+		t.Fatal("no hot streams found")
+	}
+	top := hot[0]
+	if top.Length != 4 || top.Occurrences != 3 || top.Heat != 12 {
+		t.Errorf("top stream = %+v, want len 4 x 3 occurrences", top)
+	}
+	if top.HeadAddr != 1<<6 {
+		t.Errorf("top head addr = %#x, want %#x", top.HeadAddr, 1<<6)
+	}
+	// Ranking order: A (12) before B (4).
+	if len(hot) >= 2 && hot[1].Heat > hot[0].Heat {
+		t.Error("heat ordering violated")
+	}
+	// Top-k truncation.
+	if got := an.HotStreams(1); len(got) != 1 {
+		t.Errorf("HotStreams(1) returned %d", len(got))
+	}
+}
+
+func TestHotStreamFunctions(t *testing.T) {
+	as := memmap.New()
+	st := trace.NewSymbolTable(as)
+	f1 := st.Register("alpha", trace.CatScheduler, 0)
+	f2 := st.Register("beta", trace.CatSync, 0)
+
+	tr := &trace.Trace{CPUs: 1}
+	seq := []struct {
+		b  uint64
+		fn trace.FuncID
+	}{{1, f1}, {2, f1}, {3, f2}, {4, f2}}
+	for occ := 0; occ < 3; occ++ {
+		for _, s := range seq {
+			tr.Append(trace.Miss{Addr: s.b << 6, Func: s.fn, CPU: 0})
+		}
+		tr.Append(trace.Miss{Addr: uint64(900+occ) << 6, CPU: 0})
+	}
+	an := Analyze(tr, Options{})
+	hot := an.HotStreams(1)
+	if len(hot) != 1 {
+		t.Fatalf("want 1 stream, got %d", len(hot))
+	}
+	if len(hot[0].Functions) != 2 || hot[0].Functions[0] != f1 || hot[0].Functions[1] != f2 {
+		t.Errorf("functions = %v, want [alpha beta]", hot[0].Functions)
+	}
+}
+
+func TestCoverageOfTopMonotone(t *testing.T) {
+	var blocks []uint64
+	for occ := 0; occ < 4; occ++ {
+		for s := 0; s < 6; s++ {
+			base := uint64(100 * (s + 1))
+			for i := uint64(0); i < 5; i++ {
+				blocks = append(blocks, base+i)
+			}
+		}
+	}
+	an := Analyze(mkTrace(blocks...), Options{})
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		c := an.CoverageOfTop(k)
+		if c < prev {
+			t.Fatalf("coverage not monotone at k=%d: %.3f < %.3f", k, c, prev)
+		}
+		prev = c
+	}
+	if prev == 0 {
+		t.Error("no coverage at k=8 despite heavy repetition")
+	}
+}

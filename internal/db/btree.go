@@ -1,0 +1,149 @@
+package db
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/memmap"
+)
+
+// BTree models the paper's motivating example one: a B+-tree whose leaves
+// are connected by sibling links. Range scans locate the lower key by a
+// root-to-leaf descent, then walk sibling links across leaves. Leaf pages
+// are deliberately scattered in page-number (and hence address) space, so
+// the leaf-walk miss sequence is not stride-predictable - but two
+// overlapping scans repeat the same sequence, forming a temporal stream
+// shared across processors.
+type BTree struct {
+	d       *Engine
+	space   uint32
+	Keys    int
+	leafCap int
+
+	rootPage  uint32
+	innerPage []uint32 // second level (root's children)
+	leafPage  []uint32 // leaves in key order; values are shuffled page numbers
+	innerCap  int
+}
+
+// NewBTree builds a three-level tree (root, inner, leaves) indexing nkeys
+// keys with leafCap keys per leaf. Page numbers come from rng-shuffled
+// positions within the tablespace.
+func NewBTree(d *Engine, space uint32, nkeys, leafCap int, rng *rand.Rand) *BTree {
+	t := &BTree{d: d, space: space, Keys: nkeys, leafCap: leafCap}
+	nleaves := (nkeys + leafCap - 1) / leafCap
+	// Shuffled page numbers: page 0 is the root, the next chunk the inner
+	// nodes, and the rest leaves in randomized order.
+	perm := rng.Perm(nleaves)
+	t.innerCap = 64
+	ninner := (nleaves + t.innerCap - 1) / t.innerCap
+	t.rootPage = 0
+	for i := 0; i < ninner; i++ {
+		t.innerPage = append(t.innerPage, uint32(1+i))
+	}
+	for i := 0; i < nleaves; i++ {
+		t.leafPage = append(t.leafPage, uint32(1+ninner+perm[i]))
+	}
+	return t
+}
+
+// Leaves returns the number of leaf pages.
+func (t *BTree) Leaves() int { return len(t.leafPage) }
+
+// leafOf returns the leaf index holding key.
+func (t *BTree) leafOf(key int) int {
+	l := key / t.leafCap
+	if l >= len(t.leafPage) {
+		l = len(t.leafPage) - 1
+	}
+	return l
+}
+
+// touchNode models a binary search within one node page: the header block
+// plus a few key blocks at key-determined offsets.
+func (t *BTree) touchNode(ctx *engine.Ctx, base uint64, key int) {
+	ctx.Read(base)
+	span := t.d.P.PageBytes / memmap.BlockSize
+	for probe := span / 2; probe >= 16; probe /= 2 {
+		off := (uint64(key)*2654435761 + probe) % span
+		ctx.Read(base + off*memmap.BlockSize)
+	}
+	ctx.AddInstr(40)
+}
+
+// Search descends root -> inner -> leaf for key and returns the leaf index
+// (from which record ids derive).
+func (t *BTree) Search(ctx *engine.Ctx, key int) int {
+	d := t.d
+	ctx.Call(d.Fn("sqliSearch"))
+	defer ctx.Ret()
+
+	root := d.BP.Fetch(ctx, PageID{t.space, t.rootPage})
+	t.touchNode(ctx, root, key)
+
+	leaf := t.leafOf(key)
+	inner := leaf / t.innerCap
+	ib := d.BP.Fetch(ctx, PageID{t.space, t.innerPage[inner]})
+	t.touchNode(ctx, ib, key)
+
+	lb := d.BP.Fetch(ctx, PageID{t.space, t.leafPage[leaf]})
+	t.touchNode(ctx, lb, key)
+	return leaf
+}
+
+// Scan performs a range scan of n keys starting at startKey, following the
+// sibling links between leaves. visit is called once per leaf with the
+// leaf's index (callers fetch rows from it). The leaf sequence repeats
+// exactly for overlapping scans.
+func (t *BTree) Scan(ctx *engine.Ctx, startKey, n int, visit func(leaf int)) {
+	d := t.d
+	first := t.Search(ctx, startKey)
+	ctx.Call(d.Fn("sqliScan"))
+	defer ctx.Ret()
+	leaves := (n + t.leafCap - 1) / t.leafCap
+	for i := 0; i < leaves; i++ {
+		leaf := first + i
+		if leaf >= len(t.leafPage) {
+			break
+		}
+		base := d.BP.Fetch(ctx, PageID{t.space, t.leafPage[leaf]})
+		// Walk the key list and the sibling pointer.
+		ctx.Read(base)
+		ctx.Read(base + memmap.BlockSize)
+		ctx.Read(base + 2*memmap.BlockSize)
+		if visit != nil {
+			visit(leaf)
+		}
+	}
+}
+
+// Insert descends to the leaf for key and updates it in place (node splits
+// are not modeled; the tree is pre-sized).
+func (t *BTree) Insert(ctx *engine.Ctx, key int) {
+	d := t.d
+	leaf := t.Search(ctx, key)
+	ctx.Call(d.Fn("sqliInsert"))
+	base := d.BP.Fetch(ctx, PageID{t.space, t.leafPage[leaf]})
+	span := d.P.PageBytes / memmap.BlockSize
+	off := uint64(key) % span
+	ctx.Read(base + off*memmap.BlockSize)
+	ctx.Write(base + off*memmap.BlockSize)
+	ctx.Write(base)
+	d.BP.MarkDirty(PageID{t.space, t.leafPage[leaf]})
+	ctx.Ret()
+}
+
+// PageSpan returns the number of pages the tree occupies in its
+// tablespace (for sizing and warmup).
+func (t *BTree) PageSpan() uint32 {
+	return uint32(1 + len(t.innerPage) + len(t.leafPage))
+}
+
+// Warm faults the whole tree into the buffer pool in page-number order, so
+// that frame placement does not follow key order (scans then traverse
+// scattered addresses, as in a long-running system).
+func (t *BTree) Warm(ctx *engine.Ctx) {
+	for p := uint32(0); p < t.PageSpan(); p++ {
+		t.d.BP.Fetch(ctx, PageID{t.space, p})
+	}
+}

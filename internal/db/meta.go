@@ -1,0 +1,180 @@
+package db
+
+import (
+	"repro/internal/engine"
+	"repro/internal/memmap"
+)
+
+// The database meta-data structures: lock manager, transaction table, and
+// log manager. Prior work ([3] in the paper) attributes OLTP's coherence
+// traffic to exactly these structures - they do not live on disk or in the
+// buffer pool, they are small, hot, and shared, so their cache lines
+// migrate between processors without ever being evicted for capacity.
+
+// LockManager models DB2's lock hash table: buckets of lock-request blocks
+// allocated from a recycled pool.
+type LockManager struct {
+	d          *Engine
+	bucketBase uint64
+	buckets    int
+	pool       []uint64
+	free       []int
+	chainLen   []int
+
+	// Stats.
+	Acquires uint64
+}
+
+func newLockManager(d *Engine) *LockManager {
+	lm := &LockManager{d: d, buckets: d.P.LockBuckets}
+	region := d.K.AS.Alloc("db.locks.hash", uint64(lm.buckets)*memmap.BlockSize)
+	lm.bucketBase = region.Base
+	pool := d.K.AS.Alloc("db.locks.pool", uint64(d.P.LockPoolSize)*memmap.BlockSize)
+	for i := 0; i < d.P.LockPoolSize; i++ {
+		lm.pool = append(lm.pool, pool.Base+uint64(i)*memmap.BlockSize)
+		lm.free = append(lm.free, d.P.LockPoolSize-1-i)
+	}
+	lm.chainLen = make([]int, lm.buckets)
+	return lm
+}
+
+// Lock acquires a logical lock on resource, returning a handle for Unlock.
+func (lm *LockManager) Lock(ctx *engine.Ctx, resource uint64) int {
+	d := lm.d
+	ctx.Call(d.Fn("sqlpLock"))
+	defer ctx.Ret()
+	b := int(resource*2654435761>>16) % lm.buckets
+	addr := lm.bucketBase + uint64(b)*memmap.BlockSize
+	ctx.Read(addr)
+	ctx.Write(addr)
+	// Walk a short chain proportional to bucket pressure.
+	for i := 0; i < lm.chainLen[b] && i < 3; i++ {
+		ctx.Read(lm.pool[(b+i)%len(lm.pool)])
+	}
+	if len(lm.free) == 0 {
+		// Pool exhausted: recycle the oldest (real DB2 would escalate).
+		lm.Acquires++
+		return -1
+	}
+	h := lm.free[len(lm.free)-1]
+	lm.free = lm.free[:len(lm.free)-1]
+	lm.chainLen[b]++
+	ctx.Write(lm.pool[h])
+	lm.Acquires++
+	return h<<16 | b
+}
+
+// Unlock releases a handle returned by Lock.
+func (lm *LockManager) Unlock(ctx *engine.Ctx, handle int) {
+	if handle < 0 {
+		return
+	}
+	d := lm.d
+	ctx.Call(d.Fn("sqlpUnlock"))
+	h, b := handle>>16, handle&0xffff
+	addr := lm.bucketBase + uint64(b)*memmap.BlockSize
+	ctx.Write(lm.pool[h])
+	ctx.Write(addr)
+	lm.free = append(lm.free, h)
+	if lm.chainLen[b] > 0 {
+		lm.chainLen[b]--
+	}
+	ctx.Ret()
+}
+
+// TxnTable models the active-transaction table: a small array of slots
+// plus a global latch, touched at begin and commit.
+type TxnTable struct {
+	d        *Engine
+	slotBase uint64
+	slots    int
+	latch    *Latch
+	next     int
+
+	// Stats.
+	Begins, Commits uint64
+}
+
+func newTxnTable(d *Engine) *TxnTable {
+	region := d.K.AS.Alloc("db.txntable", uint64(d.P.TxnSlots)*memmap.BlockSize)
+	return &TxnTable{d: d, slotBase: region.Base, slots: d.P.TxnSlots, latch: d.NewLatch()}
+}
+
+// Begin opens a transaction and returns its slot.
+func (tt *TxnTable) Begin(ctx *engine.Ctx) int {
+	d := tt.d
+	ctx.Call(d.Fn("sqlrrBegin"))
+	tt.latch.Enter(ctx)
+	slot := tt.next % tt.slots
+	tt.next++
+	ctx.Read(tt.slotBase + uint64(slot)*memmap.BlockSize)
+	ctx.Write(tt.slotBase + uint64(slot)*memmap.BlockSize)
+	tt.latch.Exit(ctx)
+	ctx.Ret()
+	tt.Begins++
+	return slot
+}
+
+// Commit closes the transaction in slot, forcing a log record.
+func (tt *TxnTable) Commit(ctx *engine.Ctx, slot int) {
+	d := tt.d
+	ctx.Call(d.Fn("sqlrrCommit"))
+	tt.latch.Enter(ctx)
+	ctx.Write(tt.slotBase + uint64(slot)*memmap.BlockSize)
+	tt.latch.Exit(ctx)
+	d.Log.Append(ctx, 128)
+	ctx.Ret()
+	tt.Commits++
+}
+
+// LogManager models the write-ahead log: a circular buffer with a hot head
+// block, appended under a latch by every transaction.
+type LogManager struct {
+	d        *Engine
+	head     uint64
+	bufBase  uint64
+	bufLen   uint64
+	pos      uint64
+	latch    *Latch
+	flushBuf uint64
+
+	// Stats.
+	Appends uint64
+}
+
+func newLogManager(d *Engine) *LogManager {
+	region := d.K.AS.Alloc("db.logbuffer", uint64(d.P.LogBlocks)*memmap.BlockSize)
+	return &LogManager{
+		d:        d,
+		flushBuf: d.K.AllocBlocks(8),
+		head:     d.K.AllocBlocks(1),
+		bufBase:  region.Base,
+		bufLen:   uint64(d.P.LogBlocks),
+		latch:    d.NewLatch(),
+	}
+}
+
+// Append writes n bytes of log records at the hand. Every eighth append
+// triggers a group flush: the accumulated records are copied (bcopy) to a
+// device staging buffer and handed to the block driver, the kernel-side
+// activity the paper's OLTP copy category contains.
+func (lg *LogManager) Append(ctx *engine.Ctx, n uint64) {
+	d := lg.d
+	ctx.Call(d.Fn("sqlpdLogWrite"))
+	lg.latch.Enter(ctx)
+	ctx.Read(lg.head)
+	ctx.Write(lg.head)
+	blocks := (n + memmap.BlockSize - 1) / memmap.BlockSize
+	for i := uint64(0); i < blocks; i++ {
+		ctx.Write(lg.bufBase + (lg.pos%lg.bufLen)*memmap.BlockSize)
+		lg.pos++
+	}
+	lg.latch.Exit(ctx)
+	lg.Appends++
+	if lg.Appends%8 == 0 {
+		start := (lg.pos - lg.pos%8) % lg.bufLen
+		d.K.Bcopy(ctx, lg.bufBase+start*memmap.BlockSize, lg.flushBuf, 8*memmap.BlockSize)
+		d.K.Disk.DiskWrite(ctx, lg.flushBuf, 8*memmap.BlockSize)
+	}
+	ctx.Ret()
+}

@@ -1,0 +1,207 @@
+package db
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/memmap"
+)
+
+// Latch is DB2's user-space latch (sqloSem): unlike the Solaris mutexes of
+// the kernel model, its misses are attributed to DB2 (the paper's module
+// analysis groups DB2's own synchronization under the DB2 categories).
+type Latch struct {
+	d    *Engine
+	Addr uint64
+}
+
+// NewLatch allocates a user-space latch.
+func (d *Engine) NewLatch() *Latch {
+	return &Latch{d: d, Addr: d.K.AllocBlocks(1)}
+}
+
+// Enter acquires the latch.
+func (l *Latch) Enter(ctx *engine.Ctx) {
+	ctx.Call(l.d.Fn("sqloSem"))
+	ctx.Read(l.Addr)
+	ctx.Write(l.Addr)
+	ctx.Ret()
+}
+
+// Exit releases the latch.
+func (l *Latch) Exit(ctx *engine.Ctx) {
+	ctx.Call(l.d.Fn("sqloSem"))
+	ctx.Write(l.Addr)
+	ctx.Ret()
+}
+
+// Plan models a compiled SQL execution plan: an operator tree flattened
+// into op-node blocks that the runtime interpreter (sqlri, the analogue of
+// perl's Perl_pp_* functions) walks for every tuple. The plan is compiled
+// once and reused by every execution, so interpretation is one of the most
+// repetitive activities in the engine (~90% of its misses recur).
+type Plan struct {
+	d     *Engine
+	ops   []uint64
+	stats uint64 // execution counters, written per run (shared, hot)
+}
+
+// NewPlan compiles a plan of nops operators, laid out in a dedicated
+// region with a shuffled visit order (operator trees are pointer-linked,
+// not sequential).
+func (d *Engine) NewPlan(name string, nops int, rng *rand.Rand) *Plan {
+	region := d.K.AS.Alloc("db.plan."+name, uint64(nops)*memmap.BlockSize)
+	p := &Plan{d: d, stats: d.K.AllocBlocks(1)}
+	for _, i := range rng.Perm(nops) {
+		p.ops = append(p.ops, region.Base+uint64(i)*memmap.BlockSize)
+	}
+	return p
+}
+
+// Ops returns the number of operators.
+func (p *Plan) Ops() int { return len(p.ops) }
+
+// Interpret walks n operators starting at op index from (wrapping),
+// modeling per-tuple plan evaluation.
+func (p *Plan) Interpret(ctx *engine.Ctx, from, n int) {
+	ctx.Call(p.d.Fn("sqlriExec"))
+	for i := 0; i < n; i++ {
+		ctx.Read(p.ops[(from+i)%len(p.ops)])
+	}
+	ctx.Read(p.stats)
+	ctx.Write(p.stats) // per-execution counters
+	ctx.AddInstr(uint64(n) * 12)
+	ctx.Ret()
+}
+
+// Aggregate touches an aggregation work area (group hash) for one tuple.
+type Aggregator struct {
+	d      *Engine
+	base   uint64
+	groups uint64
+}
+
+// NewAggregator allocates an aggregation hash of the given group count.
+func (d *Engine) NewAggregator(name string, groups int) *Aggregator {
+	region := d.K.AS.Alloc("db.agg."+name, uint64(groups)*memmap.BlockSize)
+	return &Aggregator{d: d, base: region.Base, groups: uint64(groups)}
+}
+
+// Update folds one tuple into its group.
+func (a *Aggregator) Update(ctx *engine.Ctx, key uint64) {
+	ctx.Call(a.d.Fn("sqlriAgg"))
+	addr := a.base + (key%a.groups)*memmap.BlockSize
+	ctx.Read(addr)
+	ctx.Write(addr)
+	ctx.Ret()
+}
+
+// Agent models a connection's work area: the sqlrr/sqlra request-control
+// context touched at statement boundaries, with cursors from a recycled
+// pool.
+type Agent struct {
+	d       *Engine
+	ctxBase uint64 // 2 blocks
+	cursor  uint64 // 1 block from the cursor pool
+}
+
+// NewAgent allocates one connection agent context.
+func (d *Engine) NewAgent() *Agent {
+	return &Agent{
+		d:       d,
+		ctxBase: d.K.AllocBlocks(2),
+		cursor:  d.K.AllocBlocks(1),
+	}
+}
+
+// StmtBegin opens a statement: request-control context and cursor setup.
+func (ag *Agent) StmtBegin(ctx *engine.Ctx) {
+	d := ag.d
+	ctx.Call(d.Fn("sqlrrStmtBegin"))
+	ctx.Read(ag.ctxBase)
+	ctx.Write(ag.ctxBase)
+	ctx.Call(d.Fn("sqlraCursor"))
+	ctx.Read(ag.cursor)
+	ctx.Write(ag.cursor)
+	ctx.Ret()
+	ctx.Ret()
+}
+
+// StmtEnd closes the statement.
+func (ag *Agent) StmtEnd(ctx *engine.Ctx) {
+	d := ag.d
+	ctx.Call(d.Fn("sqlrrStmtEnd"))
+	ctx.Write(ag.ctxBase + memmap.BlockSize)
+	ctx.Write(ag.cursor)
+	ctx.Ret()
+}
+
+// IPC models the client-server shared-memory channel: a doorbell block and
+// per-connection request/response buffers, all reused across requests.
+type IPC struct {
+	d        *Engine
+	doorbell uint64
+	reqBuf   uint64
+	respBuf  uint64
+	bufBytes uint64
+}
+
+// NewIPC allocates one connection's IPC channel.
+func (d *Engine) NewIPC(bufBytes uint64) *IPC {
+	region := d.K.AS.Alloc("db.ipc", 2*bufBytes)
+	return &IPC{
+		d:        d,
+		doorbell: d.K.AllocBlocks(1),
+		reqBuf:   region.Base,
+		respBuf:  region.Base + bufBytes,
+		bufBytes: bufBytes,
+	}
+}
+
+// ClientSend writes a request into the channel.
+func (ipc *IPC) ClientSend(ctx *engine.Ctx, n uint64) {
+	d := ipc.d
+	if n > ipc.bufBytes {
+		n = ipc.bufBytes
+	}
+	ctx.Call(d.Fn("sqleIPCSend"))
+	ctx.WriteN(ipc.reqBuf, n)
+	ctx.Read(ipc.doorbell)
+	ctx.Write(ipc.doorbell)
+	ctx.Ret()
+}
+
+// ServerRecv reads the pending request.
+func (ipc *IPC) ServerRecv(ctx *engine.Ctx, n uint64) {
+	d := ipc.d
+	if n > ipc.bufBytes {
+		n = ipc.bufBytes
+	}
+	ctx.Call(d.Fn("sqleIPCRecv"))
+	ctx.Read(ipc.doorbell)
+	ctx.ReadN(ipc.reqBuf, n)
+	ctx.Ret()
+}
+
+// ServerReply writes the response.
+func (ipc *IPC) ServerReply(ctx *engine.Ctx, n uint64) {
+	d := ipc.d
+	if n > ipc.bufBytes {
+		n = ipc.bufBytes
+	}
+	ctx.Call(d.Fn("sqleIPCSend"))
+	ctx.WriteN(ipc.respBuf, n)
+	ctx.Write(ipc.doorbell)
+	ctx.Ret()
+}
+
+// ClientRecv consumes the response.
+func (ipc *IPC) ClientRecv(ctx *engine.Ctx, n uint64) {
+	d := ipc.d
+	if n > ipc.bufBytes {
+		n = ipc.bufBytes
+	}
+	ctx.Call(d.Fn("sqleIPCRecv"))
+	ctx.ReadN(ipc.respBuf, n)
+	ctx.Ret()
+}

@@ -1,0 +1,98 @@
+package db
+
+import (
+	"repro/internal/engine"
+)
+
+// Table models a heap table: fixed-size rows packed into sequential pages
+// of a tablespace. Sequential scans visit pages in page order (the
+// stride-friendly pattern of DSS), while rid-based fetches land wherever
+// the row's page currently resides in the pool.
+type Table struct {
+	d           *Engine
+	space       uint32
+	firstPage   uint32
+	Rows        int
+	RowBytes    uint64
+	rowsPerPage int
+}
+
+// NewTable defines a heap of nrows rows of rowBytes each, occupying pages
+// [firstPage, firstPage+Pages()) of tablespace space.
+func NewTable(d *Engine, space uint32, firstPage uint32, nrows int, rowBytes uint64) *Table {
+	t := &Table{
+		d:           d,
+		space:       space,
+		firstPage:   firstPage,
+		Rows:        nrows,
+		RowBytes:    rowBytes,
+		rowsPerPage: int(d.P.PageBytes / rowBytes),
+	}
+	return t
+}
+
+// Pages returns the number of pages the table occupies.
+func (t *Table) Pages() uint32 {
+	return uint32((t.Rows + t.rowsPerPage - 1) / t.rowsPerPage)
+}
+
+// pageOf returns the PageID holding row rid.
+func (t *Table) pageOf(rid int) (PageID, int) {
+	p := rid / t.rowsPerPage
+	slot := rid % t.rowsPerPage
+	return PageID{t.space, t.firstPage + uint32(p)}, slot
+}
+
+// rowAddr returns the address of a slot within a fetched page frame.
+func (t *Table) rowAddr(frame uint64, slot int) uint64 {
+	return frame + uint64(slot)*t.RowBytes
+}
+
+// RowFetch reads row rid: slot directory plus the row's blocks.
+func (t *Table) RowFetch(ctx *engine.Ctx, rid int) {
+	d := t.d
+	pid, slot := t.pageOf(rid)
+	ctx.Call(d.Fn("sqldRowFetch"))
+	frame := d.BP.Fetch(ctx, pid)
+	ctx.Read(frame) // slot directory
+	ctx.ReadN(t.rowAddr(frame, slot), t.RowBytes)
+	ctx.Ret()
+}
+
+// RowUpdate rewrites row rid and logs the change.
+func (t *Table) RowUpdate(ctx *engine.Ctx, rid int) {
+	d := t.d
+	pid, slot := t.pageOf(rid)
+	ctx.Call(d.Fn("sqldRowUpdate"))
+	frame := d.BP.Fetch(ctx, pid)
+	ctx.Read(frame)
+	addr := t.rowAddr(frame, slot)
+	ctx.ReadN(addr, t.RowBytes)
+	ctx.WriteN(addr, t.RowBytes)
+	d.BP.MarkDirty(pid)
+	d.Log.Append(ctx, t.RowBytes)
+	ctx.Ret()
+}
+
+// ScanPages scans npages pages starting at page offset start, reading every
+// block (tuple evaluation) and calling perPage after each page. It returns
+// the next page offset.
+func (t *Table) ScanPages(ctx *engine.Ctx, start, npages uint32, perPage func(frame uint64)) uint32 {
+	d := t.d
+	ctx.Call(d.Fn("sqldScan"))
+	defer ctx.Ret()
+	end := start + npages
+	total := t.Pages()
+	for p := start; p < end && p < total; p++ {
+		frame := d.BP.Fetch(ctx, PageID{t.space, t.firstPage + p})
+		ctx.ReadN(frame, d.P.PageBytes)
+		ctx.AddInstr(uint64(t.rowsPerPage) * 60) // predicate evaluation per tuple
+		if perPage != nil {
+			perPage(frame)
+		}
+	}
+	if end > total {
+		end = total
+	}
+	return end
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/memmap"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Instruction-cost model: a fetched 64-byte code block retires ~12
+// instructions on average (SPARC fixed 4-byte encoding, discounting
+// branches out of the block), and each data access accounts for the access
+// plus ~1.5 surrounding ALU instructions. Absolute MPKI values depend on
+// these constants, shapes do not.
+const (
+	instrPerCodeBlock = 12
+	instrPerAccess    = 2
+)
+
+// TranslateFunc is the VM hook invoked before every translated access; it
+// emits the page-walk accesses of a software TLB fill when needed.
+type TranslateFunc func(ctx *Ctx, addr uint64, instruction bool)
+
+// WindowFunc is the register-window hook invoked on call/return with the
+// thread whose window over/underflows.
+type WindowFunc func(ctx *Ctx, t *TCB, spill bool)
+
+// Ctx is the per-CPU execution context threads use to emit memory
+// accesses. It maintains the simulated call stack (the paper attributes
+// every miss to the function enclosing it) and applies the VM and
+// register-window hooks the kernel model installs.
+type Ctx struct {
+	CPU  int
+	Eng  *Engine
+	Rand *rand.Rand
+
+	mem       sim.Machine
+	cur       *TCB
+	fnStack   []trace.FuncID
+	translate TranslateFunc
+	onWindow  WindowFunc
+	instr     uint64
+}
+
+// InstallVM sets the translation hook (nil disables).
+func (c *Ctx) InstallVM(f TranslateFunc) { c.translate = f }
+
+// InstallWindows sets the register-window hook (nil disables).
+func (c *Ctx) InstallWindows(f WindowFunc) { c.onWindow = f }
+
+// Thread returns the currently running TCB (nil outside Step).
+func (c *Ctx) Thread() *TCB { return c.cur }
+
+// Fn returns the function currently on top of the simulated call stack.
+func (c *Ctx) Fn() trace.FuncID {
+	if len(c.fnStack) == 0 {
+		return 0
+	}
+	return c.fnStack[len(c.fnStack)-1]
+}
+
+// Call enters function f: the call stack grows, f's code blocks are
+// fetched, and the register-window hook may spill.
+func (c *Ctx) Call(f trace.Func) {
+	c.fnStack = append(c.fnStack, f.ID)
+	if f.Code.Size > 0 {
+		for a := f.Code.Base; a < f.Code.End(); a += memmap.BlockSize {
+			if c.translate != nil {
+				c.translate(c, a, true)
+			}
+			c.mem.Fetch(c.CPU, a, f.ID)
+			c.instr += instrPerCodeBlock
+		}
+	}
+	if c.cur != nil {
+		c.cur.WinDepth++
+		if c.onWindow != nil && c.cur.WinDepth%8 == 0 {
+			c.onWindow(c, c.cur, true)
+		}
+	}
+}
+
+// Ret leaves the current function.
+func (c *Ctx) Ret() {
+	if len(c.fnStack) > 0 {
+		c.fnStack = c.fnStack[:len(c.fnStack)-1]
+	}
+	if c.cur != nil {
+		if c.onWindow != nil && c.cur.WinDepth%8 == 0 && c.cur.WinDepth > 0 {
+			c.onWindow(c, c.cur, false)
+		}
+		if c.cur.WinDepth > 0 {
+			c.cur.WinDepth--
+		}
+	}
+}
+
+// Read emits one data read at addr, attributed to the current function.
+func (c *Ctx) Read(addr uint64) {
+	if c.translate != nil {
+		c.translate(c, addr, false)
+	}
+	c.mem.Read(c.CPU, addr, c.Fn())
+	c.instr += instrPerAccess
+}
+
+// Write emits one data write at addr.
+func (c *Ctx) Write(addr uint64) {
+	if c.translate != nil {
+		c.translate(c, addr, false)
+	}
+	c.mem.Write(c.CPU, addr, c.Fn())
+	c.instr += instrPerAccess
+}
+
+// ReadN touches every block of [addr, addr+n) with reads, in ascending
+// order (sequential data structure walks and copy sources).
+func (c *Ctx) ReadN(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for a := memmap.BlockOf(addr); a < addr+n; a += memmap.BlockSize {
+		c.Read(a)
+	}
+}
+
+// WriteN touches every block of [addr, addr+n) with writes.
+func (c *Ctx) WriteN(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for a := memmap.BlockOf(addr); a < addr+n; a += memmap.BlockSize {
+		c.Write(a)
+	}
+}
+
+// RawRead bypasses the VM hook (used by the VM model itself: hardware
+// table walks and TSB accesses are physically addressed).
+func (c *Ctx) RawRead(addr uint64, fn trace.FuncID) {
+	c.mem.Read(c.CPU, addr, fn)
+	c.instr += instrPerAccess
+}
+
+// RawWrite bypasses the VM hook.
+func (c *Ctx) RawWrite(addr uint64, fn trace.FuncID) {
+	c.mem.Write(c.CPU, addr, fn)
+	c.instr += instrPerAccess
+}
+
+// RawFetch emits one instruction fetch without translation (trap handlers
+// run out of locked TLB entries).
+func (c *Ctx) RawFetch(addr uint64, fn trace.FuncID) {
+	c.mem.Fetch(c.CPU, addr, fn)
+	c.instr += instrPerCodeBlock
+}
+
+// NonAllocStore emits a cache-bypassing store (default_copyout's block
+// stores) for every block of [addr, addr+n).
+func (c *Ctx) NonAllocStore(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for a := memmap.BlockOf(addr); a < addr+n; a += memmap.BlockSize {
+		if c.translate != nil {
+			c.translate(c, a, false)
+		}
+		c.mem.NonAllocStore(c.CPU, a, c.Fn())
+		c.instr += instrPerAccess
+	}
+}
+
+// DMAWrite models a device write (no CPU instructions retired).
+func (c *Ctx) DMAWrite(addr, n uint64) { c.mem.DMAWrite(addr, n) }
+
+// AddInstr accounts extra computation that touches no memory (spin loops,
+// checksum arithmetic over already-read data).
+func (c *Ctx) AddInstr(n uint64) { c.instr += n }
+
+// flushInstr posts accumulated instruction counts to the machine.
+func (c *Ctx) flushInstr() {
+	if c.instr > 0 {
+		c.mem.Tick(c.CPU, c.instr)
+		c.instr = 0
+	}
+}

@@ -1,0 +1,98 @@
+package memmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	as := New()
+	a := as.Alloc("a", 100)
+	b := as.Alloc("b", PageSize)
+	c := as.Alloc("c", 0)
+
+	if a.Base == 0 {
+		t.Error("address 0 must never be allocated")
+	}
+	if a.Base%BlockSize != 0 || b.Base%BlockSize != 0 || c.Base%BlockSize != 0 {
+		t.Error("regions must be block aligned")
+	}
+	if a.End() > b.Base || b.End() > c.Base {
+		t.Error("regions overlap")
+	}
+	if a.Size < 100 || b.Size != PageSize || c.Size == 0 {
+		t.Errorf("sizes: a=%d b=%d c=%d", a.Size, b.Size, c.Size)
+	}
+	if as.Footprint() != c.End() {
+		t.Errorf("footprint %d != last end %d", as.Footprint(), c.End())
+	}
+}
+
+func TestBlockArithmetic(t *testing.T) {
+	cases := []struct {
+		addr, block, page uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 0},
+		{64, 64, 0},
+		{4095, 4032, 0},
+		{4096, 4096, 4096},
+		{0xdeadbeef, 0xdeadbeef &^ 63, 0xdeadbeef &^ 4095},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.block {
+			t.Errorf("BlockOf(%#x) = %#x, want %#x", c.addr, got, c.block)
+		}
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%#x) = %#x, want %#x", c.addr, got, c.page)
+		}
+		if got := BlockIndex(c.addr); got != c.addr>>6 {
+			t.Errorf("BlockIndex(%#x) = %d", c.addr, got)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	as := New()
+	var regs []Region
+	for i := 0; i < 50; i++ {
+		regs = append(regs, as.Alloc("r", uint64(i%7+1)*512))
+	}
+	for _, r := range regs {
+		for _, addr := range []uint64{r.Base, r.Base + r.Size/2, r.End() - 1} {
+			got, ok := as.RegionOf(addr)
+			if !ok || got.ID != r.ID {
+				t.Fatalf("RegionOf(%#x) = %+v, %v; want region %d", addr, got, ok, r.ID)
+			}
+		}
+	}
+	if _, ok := as.RegionOf(0); ok {
+		t.Error("address 0 should be outside all regions")
+	}
+	if _, ok := as.RegionOf(as.Footprint()); ok {
+		t.Error("footprint end should be outside all regions")
+	}
+}
+
+func TestQuickAllocInvariants(t *testing.T) {
+	// Property: any sequence of allocations yields non-overlapping,
+	// page-aligned regions whose block indices stay below Blocks().
+	f := func(sizes []uint16) bool {
+		as := New()
+		var prevEnd uint64
+		for _, s := range sizes {
+			r := as.Alloc("x", uint64(s))
+			if r.Base < prevEnd || r.Base%BlockSize != 0 {
+				return false
+			}
+			if BlockIndex(r.End()-1) >= as.Blocks() {
+				return false
+			}
+			prevEnd = r.End()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package prefetch evaluates temporal-stream prefetchers over the miss
+// traces this repository collects. The paper characterizes temporal
+// streams precisely because a family of prefetchers exploits them
+// ("recording miss-address sequences in tables or circular buffers,
+// locating a previously-seen sequence upon a subsequent miss, and then
+// prefetching the recorded addresses", Section 2); this package implements
+// that mechanism - a global history buffer with an address-correlating
+// index, as in Nesbit & Smith's GHB and Wenisch et al.'s temporal
+// streaming - and measures how much of a trace it covers.
+//
+// The evaluation is trace-driven and timing-free, consistent with the
+// paper's methodology: a prefetch is counted as covering a miss if the
+// missed address was among the lookahead addresses issued on an earlier
+// miss and has not been evicted from the (finite) prefetch buffer since.
+package prefetch
+
+import (
+	"repro/internal/trace"
+)
+
+// Config sizes the prefetcher.
+type Config struct {
+	// HistoryLen bounds the global history buffer (misses remembered).
+	// 0 means unbounded (idealized storage, as in the paper's analysis).
+	HistoryLen int
+	// Depth is the number of successor addresses fetched per stream
+	// lookup (the fixed depth whose limits Section 4.4 discusses).
+	Depth int
+	// BufferBlocks bounds how many outstanding prefetched blocks are
+	// buffered awaiting use; 0 means unbounded.
+	BufferBlocks int
+	// PerCPU evaluates one prefetcher per processor rather than a shared
+	// one (the paper's streams recur across processors, so a shared
+	// engine covers more).
+	PerCPU bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth == 0 {
+		c.Depth = 8
+	}
+	return c
+}
+
+// Result reports prefetcher effectiveness on one trace.
+type Result struct {
+	Misses     int // trace length
+	Covered    int // misses whose block was in the prefetch buffer
+	Issued     int // prefetches issued
+	Used       int // prefetched blocks that were eventually used
+	Discarded  int // prefetched blocks evicted unused (buffer pressure)
+	LookupHits int // misses that found their address in the history index
+}
+
+// Coverage is the fraction of misses eliminated by prefetching.
+func (r Result) Coverage() float64 {
+	if r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Misses)
+}
+
+// Accuracy is the fraction of issued prefetches that were used.
+func (r Result) Accuracy() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Used) / float64(r.Issued)
+}
+
+// engine is one prefetcher instance.
+type engine struct {
+	cfg     Config
+	history []uint64       // global history buffer (miss addresses)
+	index   map[uint64]int // address -> most recent history position
+	buffer  map[uint64]int // prefetched block -> issue order (for FIFO eviction)
+	fifo    []uint64       // issue order of buffered blocks
+	headPos int            // history eviction cursor (ring base index)
+}
+
+func newEngine(cfg Config) *engine {
+	return &engine{
+		cfg:    cfg,
+		index:  make(map[uint64]int),
+		buffer: make(map[uint64]int),
+	}
+}
+
+// observe processes one access from the baseline miss trace: check the
+// buffer, and on a (still-)miss consult the history and issue lookahead
+// prefetches. Covered accesses are hits in the deployed system: they are
+// recorded in the history (the stream engine observes fills) but do not
+// trigger a new lookup - which is exactly why fixed-depth designs pay one
+// off-chip lookup every Depth misses and why long streams amortize that
+// cost (Section 4.4).
+func (e *engine) observe(addr uint64, r *Result) {
+	// 1. Did an earlier prefetch cover this miss?
+	if _, ok := e.buffer[addr]; ok {
+		r.Covered++
+		r.Used++
+		delete(e.buffer, addr)
+		e.record(addr)
+		return
+	}
+
+	// 2. Address-correlating lookup: find this address's previous
+	// occurrence and prefetch the Depth misses that followed it.
+	if pos, ok := e.index[addr]; ok {
+		r.LookupHits++
+		base := pos - e.headPos // position within the current slice
+		for i := 1; i <= e.cfg.Depth; i++ {
+			j := base + i
+			if j < 0 || j >= len(e.history) {
+				break
+			}
+			p := e.history[j]
+			if p == addr {
+				continue
+			}
+			if _, buffered := e.buffer[p]; buffered {
+				continue
+			}
+			e.buffer[p] = r.Issued
+			e.fifo = append(e.fifo, p)
+			r.Issued++
+		}
+		// Enforce the buffer bound FIFO (oldest unused prefetch dropped).
+		if e.cfg.BufferBlocks > 0 {
+			for len(e.buffer) > e.cfg.BufferBlocks && len(e.fifo) > 0 {
+				victim := e.fifo[0]
+				e.fifo = e.fifo[1:]
+				if _, ok := e.buffer[victim]; ok {
+					delete(e.buffer, victim)
+					r.Discarded++
+				}
+			}
+		}
+	}
+
+	// 3. Record the miss.
+	e.record(addr)
+}
+
+// record appends one observed address to the global history buffer.
+func (e *engine) record(addr uint64) {
+	e.index[addr] = e.headPos + len(e.history)
+	e.history = append(e.history, addr)
+	if e.cfg.HistoryLen > 0 && len(e.history) > e.cfg.HistoryLen {
+		// Drop the oldest entry; stale index entries are detected by
+		// range checks during lookup.
+		old := e.history[0]
+		if e.index[old] == e.headPos {
+			delete(e.index, old)
+		}
+		e.history = e.history[1:]
+		e.headPos++
+	}
+}
+
+// Evaluate runs the configured prefetcher over tr and reports coverage.
+func Evaluate(tr *trace.Trace, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	var r Result
+	r.Misses = len(tr.Misses)
+	if cfg.PerCPU {
+		engines := make(map[uint8]*engine)
+		for i := range tr.Misses {
+			m := tr.Misses[i]
+			e := engines[m.CPU]
+			if e == nil {
+				e = newEngine(cfg)
+				engines[m.CPU] = e
+			}
+			e.observe(m.Addr, &r)
+		}
+		return r
+	}
+	e := newEngine(cfg)
+	for i := range tr.Misses {
+		e.observe(tr.Misses[i].Addr, &r)
+	}
+	return r
+}
+
+// DepthSweep evaluates several lookahead depths over the same trace,
+// reproducing the trade-off of Section 4.4 (fixed depths truncate long
+// streams; see BenchmarkAblationFixedDepth for the analytical version).
+func DepthSweep(tr *trace.Trace, depths []int, base Config) []Result {
+	out := make([]Result, 0, len(depths))
+	for _, d := range depths {
+		cfg := base
+		cfg.Depth = d
+		out = append(out, Evaluate(tr, cfg))
+	}
+	return out
+}

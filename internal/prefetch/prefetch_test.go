@@ -1,0 +1,143 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mkTrace(cpu int, blocks ...uint64) *trace.Trace {
+	tr := &trace.Trace{CPUs: cpu + 1}
+	for _, b := range blocks {
+		tr.Append(trace.Miss{Addr: b << 6, CPU: uint8(cpu)})
+	}
+	return tr
+}
+
+func repeatSeq(times int, seq ...uint64) []uint64 {
+	var out []uint64
+	for i := 0; i < times; i++ {
+		out = append(out, seq...)
+	}
+	return out
+}
+
+func TestPerfectStreamCoverage(t *testing.T) {
+	// A sequence repeated k times: from the second occurrence on, all but
+	// the head miss should be covered.
+	seq := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	tr := mkTrace(0, repeatSeq(10, seq...)...)
+	r := Evaluate(tr, Config{Depth: 8})
+	// 10 occurrences of 8 misses; occurrences 2-10 have 7 coverable
+	// misses each (the head itself always misses).
+	want := 9 * 7
+	if r.Covered != want {
+		t.Errorf("covered = %d, want %d", r.Covered, want)
+	}
+	if r.Accuracy() < 0.9 {
+		t.Errorf("accuracy = %.2f, want >= 0.9 on a perfectly repeating trace", r.Accuracy())
+	}
+}
+
+func TestRandomTraceNoCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var blocks []uint64
+	for i := 0; i < 5000; i++ {
+		blocks = append(blocks, rng.Uint64()%1_000_000_000)
+	}
+	tr := mkTrace(0, blocks...)
+	r := Evaluate(tr, Config{Depth: 8})
+	if r.Coverage() > 0.01 {
+		t.Errorf("coverage on random trace = %.3f, want ~0", r.Coverage())
+	}
+}
+
+func TestDepthTruncatesLongStreams(t *testing.T) {
+	// One long stream: shallow depth must cover less than deep depth.
+	seq := make([]uint64, 64)
+	for i := range seq {
+		seq[i] = uint64(100 + i)
+	}
+	tr := mkTrace(0, repeatSeq(6, seq...)...)
+	rs := DepthSweep(tr, []int{2, 8, 64}, Config{})
+	if !(rs[0].Coverage() < rs[1].Coverage() && rs[1].Coverage() < rs[2].Coverage()) {
+		t.Errorf("coverage not monotone in depth: %.3f %.3f %.3f",
+			rs[0].Coverage(), rs[1].Coverage(), rs[2].Coverage())
+	}
+	// Depth 64 covers nearly everything after the first occurrence...
+	if rs[2].Coverage() < 0.7 {
+		t.Errorf("deep coverage = %.3f, want >= 0.7", rs[2].Coverage())
+	}
+	// ...while depth 2 covers at most ~2 successors per head lookup. With
+	// one lookup per covered-then-missed head the bound is loose, but it
+	// must stay well below the deep configuration.
+	if rs[0].Coverage() > rs[2].Coverage()*0.8 {
+		t.Errorf("shallow depth too effective: %.3f vs %.3f", rs[0].Coverage(), rs[2].Coverage())
+	}
+}
+
+func TestFiniteHistoryForgets(t *testing.T) {
+	seq := make([]uint64, 100)
+	for i := range seq {
+		seq[i] = uint64(1000 + i)
+	}
+	// Two occurrences separated by 5000 distinct misses.
+	var blocks []uint64
+	blocks = append(blocks, seq...)
+	for i := 0; i < 5000; i++ {
+		blocks = append(blocks, uint64(100000+i))
+	}
+	blocks = append(blocks, seq...)
+	tr := mkTrace(0, blocks...)
+
+	long := Evaluate(tr, Config{Depth: 16})
+	short := Evaluate(tr, Config{Depth: 16, HistoryLen: 1000})
+	if long.Covered == 0 {
+		t.Fatal("unbounded history covered nothing")
+	}
+	if short.Covered != 0 {
+		t.Errorf("1000-entry history covered %d misses across a 5000-miss gap", short.Covered)
+	}
+}
+
+func TestBufferPressureDiscards(t *testing.T) {
+	seq := make([]uint64, 64)
+	for i := range seq {
+		seq[i] = uint64(7000 + i)
+	}
+	tr := mkTrace(0, repeatSeq(4, seq...)...)
+	r := Evaluate(tr, Config{Depth: 64, BufferBlocks: 4})
+	if r.Discarded == 0 {
+		t.Error("tiny buffer discarded nothing under deep lookahead")
+	}
+	full := Evaluate(tr, Config{Depth: 64})
+	if r.Covered >= full.Covered {
+		t.Errorf("bounded buffer coverage %d >= unbounded %d", r.Covered, full.Covered)
+	}
+}
+
+func TestPerCPUSplitsHistory(t *testing.T) {
+	// The same stream alternating between two CPUs: a shared engine links
+	// occurrences across CPUs, per-CPU engines see half the recurrences.
+	seq := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	tr := &trace.Trace{CPUs: 2}
+	for occ := 0; occ < 8; occ++ {
+		for _, b := range seq {
+			tr.Append(trace.Miss{Addr: b << 6, CPU: uint8(occ % 2)})
+		}
+	}
+	shared := Evaluate(tr, Config{Depth: 8})
+	split := Evaluate(tr, Config{Depth: 8, PerCPU: true})
+	if split.Covered >= shared.Covered {
+		t.Errorf("per-cpu coverage %d >= shared %d; streams recur across CPUs",
+			split.Covered, shared.Covered)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := Evaluate(&trace.Trace{CPUs: 1}, Config{})
+	if r.Coverage() != 0 || r.Accuracy() != 0 {
+		t.Error("empty trace must yield zero metrics")
+	}
+}

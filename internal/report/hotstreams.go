@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// HotStreams renders the per-app hottest temporal streams with their code
+// attribution - the link between streams and application behavior that
+// Section 5 of the paper establishes. k streams are shown per app for the
+// given context index (0 = multi-chip).
+func HotStreams(w io.Writer, apps []AppData, ctxIndex, k int) {
+	fmt.Fprintf(w, "HOT STREAMS: top %d temporal streams by heat (length x occurrences)\n", k)
+	for _, a := range apps {
+		if ctxIndex >= len(a.Contexts) {
+			continue
+		}
+		c := a.Contexts[ctxIndex]
+		if c.Analysis == nil || len(c.Analysis.Misses) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n  === %s (%s) ===\n", a.App, c.Name)
+		fmt.Fprintf(w, "  %4s %6s %5s %8s  %s\n", "rank", "len", "occ", "heat", "functions (first occurrence)")
+		for i, h := range c.Analysis.HotStreams(k) {
+			names := ""
+			for j, f := range h.Functions {
+				if j == 3 {
+					names += ", ..."
+					break
+				}
+				if j > 0 {
+					names += ", "
+				}
+				names += c.SymTab.Func(f).Name
+			}
+			fmt.Fprintf(w, "  %4d %6d %5d %8d  %s\n", i+1, h.Length, h.Occurrences, h.Heat, names)
+		}
+		fmt.Fprintf(w, "  top-%d coverage of all misses: %.1f%%\n", k, 100*c.Analysis.CoverageOfTop(k))
+	}
+}

@@ -1,0 +1,256 @@
+// Package report renders the paper's figures and tables as text from
+// collected experiment data. Each Figure*/Table* function regenerates one
+// artifact of the paper's evaluation section.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ContextData is the per-context input the renderers need (the root
+// package's ContextResult satisfies it structurally; report stays
+// decoupled from the public API to avoid an import cycle).
+type ContextData struct {
+	Name     string
+	Trace    *trace.Trace
+	Analysis *core.Analysis
+	SymTab   *trace.SymbolTable
+}
+
+// AppData bundles one application's contexts in presentation order:
+// multi-chip, single-chip, intra-chip.
+type AppData struct {
+	App      workload.App
+	Contexts []ContextData
+}
+
+func pct(x float64) string { return fmt.Sprintf("%5.1f%%", 100*x) }
+
+func hr(w io.Writer, n int) { fmt.Fprintln(w, strings.Repeat("-", n)) }
+
+// Figure1 renders the off-chip miss classification (left) and the
+// intra-chip breakdown (right) as misses per 1000 instructions.
+func Figure1(w io.Writer, apps []AppData) {
+	fmt.Fprintln(w, "FIGURE 1 (left): Off-chip read misses per 1000 instructions, by class")
+	fmt.Fprintf(w, "%-8s %-12s %8s %10s %10s %10s %10s\n",
+		"App", "Context", "MPKI", "Compulsory", "I/O-Coh", "Replace", "Coherence")
+	hr(w, 76)
+	for _, a := range apps {
+		for _, c := range a.Contexts {
+			if c.Name == "intra-chip" {
+				continue
+			}
+			tr := c.Trace
+			n := float64(tr.Len())
+			if n == 0 {
+				continue
+			}
+			cc := tr.ClassCounts()
+			mpki := tr.MPKI()
+			fmt.Fprintf(w, "%-8s %-12s %8.2f %10.2f %10.2f %10.2f %10.2f\n",
+				a.App, c.Name, mpki,
+				mpki*float64(cc[trace.Compulsory])/n,
+				mpki*float64(cc[trace.IOCoherence])/n,
+				mpki*float64(cc[trace.Replacement])/n,
+				mpki*float64(cc[trace.Coherence])/n)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "FIGURE 1 (right): Intra-chip (L1) misses per 1000 instructions, by cause and supplier")
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %12s %10s\n",
+		"App", "L1-MPKI", "Repl:L2", "Coh:L2", "Coh:PeerL1", "Off-chip")
+	hr(w, 68)
+	for _, a := range apps {
+		var intra, off *trace.Trace
+		for _, c := range a.Contexts {
+			switch c.Name {
+			case "intra-chip":
+				intra = c.Trace
+			case "single-chip":
+				off = c.Trace
+			}
+		}
+		if intra == nil || intra.Instructions == 0 {
+			continue
+		}
+		perK := func(n int) float64 { return float64(n) * 1000 / float64(intra.Instructions) }
+		var replL2, cohL2, cohPeer int
+		for _, m := range intra.Misses {
+			switch {
+			case m.Class == trace.Coherence && m.Supplier == trace.SupplierPeerL1:
+				cohPeer++
+			case m.Class == trace.Coherence:
+				cohL2++
+			default:
+				replL2++
+			}
+		}
+		offMPKI := 0.0
+		if off != nil {
+			offMPKI = perK(off.Len())
+		}
+		fmt.Fprintf(w, "%-8s %8.2f %12.2f %12.2f %12.2f %10.2f\n",
+			a.App, perK(intra.Len())+offMPKI, perK(replL2), perK(cohL2), perK(cohPeer), offMPKI)
+	}
+}
+
+// Figure2 renders the fraction of misses in temporal streams.
+func Figure2(w io.Writer, apps []AppData) {
+	fmt.Fprintln(w, "FIGURE 2: Fraction of misses in temporal streams")
+	fmt.Fprintf(w, "%-8s %-12s %14s %12s %12s %10s\n",
+		"App", "Context", "Non-repetitive", "New-stream", "Recurring", "In-streams")
+	hr(w, 74)
+	for _, a := range apps {
+		for _, c := range a.Contexts {
+			if c.Analysis == nil || len(c.Analysis.Misses) == 0 {
+				continue
+			}
+			nr, ns, rc := c.Analysis.Fractions()
+			fmt.Fprintf(w, "%-8s %-12s %14s %12s %12s %10s\n",
+				a.App, c.Name, pct(nr), pct(ns), pct(rc), pct(ns+rc))
+		}
+	}
+}
+
+// Figure3 renders the joint stride/repetition breakdown.
+func Figure3(w io.Writer, apps []AppData) {
+	fmt.Fprintln(w, "FIGURE 3: Strides and temporal streams (joint breakdown)")
+	fmt.Fprintf(w, "%-8s %-12s %12s %12s %12s %12s\n",
+		"App", "Context", "Rep+Strided", "Rep+NonStr", "NonRep+NonS", "NonRep+Str")
+	hr(w, 74)
+	for _, a := range apps {
+		for _, c := range a.Contexts {
+			if c.Analysis == nil || len(c.Analysis.Misses) == 0 {
+				continue
+			}
+			rs, rn, nn, ns := c.Analysis.StrideJoint()
+			fmt.Fprintf(w, "%-8s %-12s %12s %12s %12s %12s\n",
+				a.App, c.Name, pct(rs), pct(rn), pct(nn), pct(ns))
+		}
+	}
+}
+
+// lengthMarks are the stream-length CDF sample points (log axis, as in
+// Figure 4 left).
+var lengthMarks = []float64{2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}
+
+// Figure4Length renders the cumulative stream-length distributions.
+func Figure4Length(w io.Writer, apps []AppData) {
+	fmt.Fprintln(w, "FIGURE 4 (left): Cumulative stream length distribution (weighted by misses)")
+	fmt.Fprintf(w, "%-8s %-12s %7s", "App", "Context", "median")
+	for _, m := range lengthMarks {
+		fmt.Fprintf(w, " %6s", fmt.Sprintf("<=%g", m))
+	}
+	fmt.Fprintln(w)
+	hr(w, 100)
+	for _, a := range apps {
+		for _, c := range a.Contexts {
+			if c.Analysis == nil || c.Analysis.LengthDist.Len() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-8s %-12s %7.0f", a.App, c.Name, c.Analysis.MedianStreamLength())
+			for _, m := range lengthMarks {
+				fmt.Fprintf(w, " %5.0f%%", 100*c.Analysis.LengthDist.CDFAt(m))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Figure4Reuse renders the reuse-distance PDFs (decade buckets).
+func Figure4Reuse(w io.Writer, apps []AppData) {
+	fmt.Fprintln(w, "FIGURE 4 (right): Stream reuse distance PDF (% of stream misses per decade)")
+	fmt.Fprintf(w, "%-8s %-12s", "App", "Context")
+	labels := []string{"<10", "<100", "<1k", "<10k", "<100k", "<1M", "<10M"}
+	for _, l := range labels {
+		fmt.Fprintf(w, " %6s", l)
+	}
+	fmt.Fprintln(w)
+	hr(w, 80)
+	for _, a := range apps {
+		for _, c := range a.Contexts {
+			if c.Analysis == nil || c.Analysis.ReuseDist.Total() == 0 {
+				continue
+			}
+			// Collapse buckets into decades [0,10), [10,100), ...
+			var decades [7]float64
+			for _, b := range c.Analysis.ReuseDist.Buckets() {
+				d := 0
+				for v := b.Lo; v >= 10 && d < 6; v /= 10 {
+					d++
+				}
+				decades[d] += b.Frac
+			}
+			fmt.Fprintf(w, "%-8s %-12s", a.App, c.Name)
+			for _, f := range decades {
+				fmt.Fprintf(w, " %5.1f%%", 100*f)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// CategoryTable renders one of Tables 3-5 for the given apps and category
+// set.
+func CategoryTable(w io.Writer, title string, apps []AppData, cats []trace.Category) {
+	fmt.Fprintln(w, title)
+	for _, a := range apps {
+		fmt.Fprintf(w, "\n  === %s ===\n", a.App)
+		fmt.Fprintf(w, "  %-42s", "Category")
+		for _, c := range a.Contexts {
+			fmt.Fprintf(w, " | %-11s", c.Name)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  %-42s", "")
+		for range a.Contexts {
+			fmt.Fprintf(w, " | %5s %5s", "miss", "strm")
+		}
+		fmt.Fprintln(w)
+		hr(w, 46+len(a.Contexts)*14)
+
+		// Gather rows per context.
+		var tables [][]core.CategoryRow
+		for _, c := range a.Contexts {
+			if c.Analysis == nil {
+				tables = append(tables, nil)
+				continue
+			}
+			tables = append(tables, c.Analysis.CategoryTable(c.SymTab, cats))
+		}
+		nrows := 1 + len(cats)
+		for r := 0; r < nrows; r++ {
+			var name string
+			for _, t := range tables {
+				if t != nil {
+					name = t[r].Category.String()
+					break
+				}
+			}
+			fmt.Fprintf(w, "  %-42s", name)
+			for _, t := range tables {
+				if t == nil {
+					fmt.Fprintf(w, " | %5s %5s", "-", "-")
+					continue
+				}
+				fmt.Fprintf(w, " | %4.1f%% %4.1f%%", 100*t[r].MissFrac, 100*t[r].StreamFrac)
+			}
+			fmt.Fprintln(w)
+		}
+		// Overall in-stream fractions.
+		fmt.Fprintf(w, "  %-42s", "Overall % in streams")
+		for _, c := range a.Contexts {
+			if c.Analysis == nil {
+				fmt.Fprintf(w, " | %11s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " | %10.1f%%", 100*c.Analysis.StreamFraction())
+		}
+		fmt.Fprintln(w)
+	}
+}

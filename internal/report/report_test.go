@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memmap"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fixture builds a tiny AppData with a synthetic trace.
+func fixture(t *testing.T) []AppData {
+	t.Helper()
+	as := memmap.New()
+	st := trace.NewSymbolTable(as)
+	fa := st.Register("disp_getwork", trace.CatScheduler, 0)
+	fb := st.Register("bcopy", trace.CatBulkCopy, 0)
+
+	mk := func(instr uint64) *trace.Trace {
+		tr := &trace.Trace{CPUs: 2, Instructions: instr}
+		seq := []uint64{1, 2, 3, 4}
+		for occ := 0; occ < 5; occ++ {
+			for _, b := range seq {
+				tr.Append(trace.Miss{Addr: b << 6, CPU: uint8(occ % 2), Func: fa, Class: trace.Coherence})
+			}
+			tr.Append(trace.Miss{Addr: uint64(100+occ) << 6, CPU: 0, Func: fb,
+				Class: trace.Replacement, Supplier: trace.SupplierL2})
+		}
+		return tr
+	}
+	ctxs := []ContextData{}
+	for _, name := range []string{"multi-chip", "single-chip", "intra-chip"} {
+		tr := mk(100000)
+		ctxs = append(ctxs, ContextData{
+			Name: name, Trace: tr, Analysis: core.Analyze(tr, core.Options{}), SymTab: st,
+		})
+	}
+	return []AppData{{App: workload.Apache, Contexts: ctxs}}
+}
+
+func render(t *testing.T, f func(apps []AppData, buf *bytes.Buffer)) string {
+	t.Helper()
+	var buf bytes.Buffer
+	f(fixture(t), &buf)
+	out := buf.String()
+	if out == "" {
+		t.Fatal("renderer produced no output")
+	}
+	return out
+}
+
+func TestFigure1Renders(t *testing.T) {
+	out := render(t, func(a []AppData, b *bytes.Buffer) { Figure1(b, a) })
+	for _, want := range []string{"FIGURE 1", "Apache", "multi-chip", "Coherence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Renders(t *testing.T) {
+	out := render(t, func(a []AppData, b *bytes.Buffer) { Figure2(b, a) })
+	if !strings.Contains(out, "In-streams") || !strings.Contains(out, "intra-chip") {
+		t.Errorf("figure 2 incomplete:\n%s", out)
+	}
+	// The synthetic trace is 80% repetitive: the rendered fraction should
+	// show 80.0%.
+	if !strings.Contains(out, "80.0%") {
+		t.Errorf("expected 80.0%% in-stream fraction:\n%s", out)
+	}
+}
+
+func TestFigure3Renders(t *testing.T) {
+	out := render(t, func(a []AppData, b *bytes.Buffer) { Figure3(b, a) })
+	if !strings.Contains(out, "Rep+Strided") {
+		t.Errorf("figure 3 incomplete:\n%s", out)
+	}
+}
+
+func TestFigure4Renders(t *testing.T) {
+	out := render(t, func(a []AppData, b *bytes.Buffer) { Figure4Length(b, a); Figure4Reuse(b, a) })
+	if !strings.Contains(out, "median") || !strings.Contains(out, "<10") {
+		t.Errorf("figure 4 incomplete:\n%s", out)
+	}
+}
+
+func TestCategoryTableRenders(t *testing.T) {
+	var buf bytes.Buffer
+	CategoryTable(&buf, "TEST TABLE", fixture(t), trace.CrossAppCategories())
+	out := buf.String()
+	for _, want := range []string{"TEST TABLE", "Kernel task scheduler", "Bulk memory copies", "Overall % in streams"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Scheduler row: 80% of misses, all repetitive -> "80.0% 80.0%".
+	if !strings.Contains(out, "80.0% 80.0%") {
+		t.Errorf("scheduler row wrong:\n%s", out)
+	}
+}
+
+func TestEmptyContextsHandled(t *testing.T) {
+	apps := []AppData{{App: workload.Zeus, Contexts: []ContextData{
+		{Name: "multi-chip", Trace: &trace.Trace{CPUs: 1},
+			Analysis: core.Analyze(&trace.Trace{CPUs: 1}, core.Options{})},
+	}}}
+	var buf bytes.Buffer
+	Figure1(&buf, apps)
+	Figure2(&buf, apps)
+	Figure3(&buf, apps)
+	Figure4Length(&buf, apps)
+	Figure4Reuse(&buf, apps)
+	// Must not panic; headers still render.
+	if !strings.Contains(buf.String(), "FIGURE 2") {
+		t.Error("headers missing for empty contexts")
+	}
+}

@@ -1,0 +1,214 @@
+package sequitur
+
+import "fmt"
+
+// RuleLengths returns the expansion length (in terminals) of every live
+// rule, keyed by rule id. The root's length equals the input length.
+func (g *Grammar) RuleLengths() map[int]int {
+	memo := make(map[int]int, len(g.rules))
+	var lengthOf func(r *Rule) int
+	lengthOf = func(r *Rule) int {
+		if l, ok := memo[r.id]; ok {
+			return l
+		}
+		// Mark in-progress to catch (impossible) cycles deterministically.
+		memo[r.id] = -1
+		total := 0
+		for n := r.first(); !n.isGuard(); n = n.next {
+			if n.rule != nil {
+				l := lengthOf(n.rule)
+				if l < 0 {
+					panic("sequitur: cyclic grammar")
+				}
+				total += l
+			} else {
+				total++
+			}
+		}
+		memo[r.id] = total
+		return total
+	}
+	for _, r := range g.rules {
+		lengthOf(r)
+	}
+	return memo
+}
+
+// Expansion reconstructs the original input from the grammar.
+func (g *Grammar) Expansion() []uint64 {
+	out := make([]uint64, 0, g.length)
+	var expand func(r *Rule)
+	expand = func(r *Rule) {
+		for n := r.first(); !n.isGuard(); n = n.next {
+			if n.rule != nil {
+				expand(n.rule)
+			} else {
+				out = append(out, n.term)
+			}
+		}
+	}
+	expand(g.root)
+	return out
+}
+
+// DerivationVisitor receives events from Walk's left-to-right traversal of
+// the parse tree. Positions are 0-based indices into the original input.
+//
+// EnterRule fires once per rule *instance* in the derivation: occurrence is
+// 1 for the instance whose expansion appears first in the input, 2 for the
+// next, and so on; depth is the nesting level (1 for children of the root).
+// Terminal fires once per input position, with depth the number of
+// enclosing non-root rule instances (0 for terminals hanging directly off
+// the root, which are by construction not part of any repetition).
+type DerivationVisitor interface {
+	EnterRule(ruleID, occurrence, pos, length, depth int)
+	Terminal(pos int, v uint64, depth int)
+	ExitRule(ruleID, pos, length, depth int)
+}
+
+// Walk traverses the full derivation of the input. The parse tree has at
+// most one internal node per input symbol, so the walk is O(input length).
+func (g *Grammar) Walk(v DerivationVisitor) {
+	lengths := g.RuleLengths()
+	occ := make(map[int]int, len(g.rules))
+	pos := 0
+	var walk func(r *Rule, depth int)
+	walk = func(r *Rule, depth int) {
+		for n := r.first(); !n.isGuard(); n = n.next {
+			if n.rule != nil {
+				occ[n.rule.id]++
+				l := lengths[n.rule.id]
+				v.EnterRule(n.rule.id, occ[n.rule.id], pos, l, depth+1)
+				walk(n.rule, depth+1)
+				v.ExitRule(n.rule.id, pos, l, depth+1)
+			} else {
+				v.Terminal(pos, n.term, depth)
+				pos++
+			}
+		}
+	}
+	walk(g.root, 0)
+}
+
+// bodyRef is one element of a rule body in a BodyOf result.
+type BodyRef struct {
+	IsRule bool
+	RuleID int
+	Term   uint64
+}
+
+// BodyOf returns the body of rule id, or nil if the rule is not live.
+func (g *Grammar) BodyOf(id int) []BodyRef {
+	r, ok := g.rules[id]
+	if !ok {
+		return nil
+	}
+	var out []BodyRef
+	for n := r.first(); !n.isGuard(); n = n.next {
+		if n.rule != nil {
+			out = append(out, BodyRef{IsRule: true, RuleID: n.rule.id})
+		} else {
+			out = append(out, BodyRef{Term: n.term})
+		}
+	}
+	return out
+}
+
+// RuleIDs returns the ids of all live rules (the root included).
+func (g *Grammar) RuleIDs() []int {
+	ids := make([]int, 0, len(g.rules))
+	for id := range g.rules {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// String renders the grammar for debugging, one rule per line.
+func (g *Grammar) String() string {
+	s := ""
+	for id := 0; id < g.nextID; id++ {
+		r, ok := g.rules[id]
+		if !ok {
+			continue
+		}
+		s += fmt.Sprintf("R%d ->", id)
+		for n := r.first(); !n.isGuard(); n = n.next {
+			if n.rule != nil {
+				s += fmt.Sprintf(" R%d", n.rule.id)
+			} else {
+				s += fmt.Sprintf(" %d", n.term)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// CheckInvariants verifies the grammar's structural invariants and the
+// digram index's consistency. It returns a descriptive error when a check
+// fails; tests and the fuzzing harness call it after every build.
+func (g *Grammar) CheckInvariants() error {
+	// Rule utility: every non-root rule is referenced at least twice, and
+	// the recorded use counts match reality.
+	refCounts := make(map[int]int, len(g.rules))
+	for _, r := range g.rules {
+		for n := r.first(); !n.isGuard(); n = n.next {
+			if n.rule != nil {
+				refCounts[n.rule.id]++
+				if _, live := g.rules[n.rule.id]; !live {
+					return fmt.Errorf("rule R%d references dead rule R%d", r.id, n.rule.id)
+				}
+			}
+		}
+	}
+	for _, r := range g.rules {
+		if r.id == g.root.id {
+			continue
+		}
+		if refCounts[r.id] < 2 {
+			return fmt.Errorf("rule utility violated: R%d used %d time(s)", r.id, refCounts[r.id])
+		}
+		if refCounts[r.id] != r.uses {
+			return fmt.Errorf("use count mismatch for R%d: recorded %d, actual %d", r.id, r.uses, refCounts[r.id])
+		}
+	}
+	// Digram uniqueness: no adjacent pair occurs twice, except overlapping
+	// occurrences of the same symbol (e.g. the middle of "aaa").
+	seen := make(map[digram]*node)
+	for _, r := range g.rules {
+		for n := r.first(); !n.isGuard() && !n.next.isGuard(); n = n.next {
+			d := digramOf(n)
+			if prev, dup := seen[d]; dup {
+				if prev.next != n {
+					return fmt.Errorf("digram uniqueness violated: %v occurs at least twice", d)
+				}
+				continue
+			}
+			seen[d] = n
+		}
+	}
+	// Index consistency: every index entry points at a node whose digram
+	// matches its key and which is still linked into a live rule body.
+	for d, n := range g.index {
+		if n.next == nil || n.isGuard() || n.next.isGuard() {
+			return fmt.Errorf("index entry %v points at guard/unlinked node", d)
+		}
+		if digramOf(n) != d {
+			return fmt.Errorf("index entry %v points at node with digram %v", d, digramOf(n))
+		}
+	}
+	// Every rule body holds at least two symbols.
+	for _, r := range g.rules {
+		if r.id == g.root.id {
+			continue
+		}
+		n := 0
+		for s := r.first(); !s.isGuard(); s = s.next {
+			n++
+		}
+		if n < 2 {
+			return fmt.Errorf("rule R%d has body of length %d", r.id, n)
+		}
+	}
+	return nil
+}

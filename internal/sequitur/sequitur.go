@@ -1,0 +1,248 @@
+// Package sequitur implements the SEQUITUR hierarchical compression
+// algorithm of Nevill-Manning & Witten (JAIR 1997), the analysis engine the
+// paper uses to identify temporal streams: SEQUITUR infers a context-free
+// grammar whose production rules correspond exactly to the distinct
+// repeated subsequences (streams) of its input.
+//
+// The implementation follows the canonical linear-time design: symbols live
+// in doubly-linked lists (one per rule, with a circular guard node), and a
+// digram index maps each adjacent symbol pair to its single occurrence.
+// Two invariants are maintained as each input symbol is appended:
+//
+//	digram uniqueness: no pair of adjacent symbols appears more than once
+//	  in the grammar (overlapping pairs such as "aaa" excepted);
+//	rule utility: every rule other than the root is referenced at least
+//	  twice.
+//
+// Input symbols are arbitrary uint64 values (the analyses feed in
+// block-aligned miss addresses).
+package sequitur
+
+// node is one symbol occurrence in a rule body: a terminal, a reference to
+// another rule, or a rule's guard sentinel.
+type node struct {
+	prev, next *node
+	term       uint64
+	rule       *Rule // non-nil: this node references rule
+	owner      *Rule // non-nil: this node is the guard of owner
+}
+
+func (n *node) isGuard() bool { return n.owner != nil }
+
+// Rule is one production rule. The guard's next/prev delimit the body.
+type Rule struct {
+	id    int
+	guard *node
+	uses  int // number of reference nodes pointing at this rule
+}
+
+// ID returns the rule's identifier. The root rule has ID 0.
+func (r *Rule) ID() int { return r.id }
+
+// Uses returns the number of references to the rule in the grammar.
+func (r *Rule) Uses() int { return r.uses }
+
+func (r *Rule) first() *node { return r.guard.next }
+func (r *Rule) last() *node  { return r.guard.prev }
+
+// symRef identifies a symbol for digram indexing: either a terminal value
+// or a rule id.
+type symRef struct {
+	isRule bool
+	v      uint64
+}
+
+type digram struct{ a, b symRef }
+
+func refOf(n *node) symRef {
+	if n.rule != nil {
+		return symRef{isRule: true, v: uint64(n.rule.id)}
+	}
+	return symRef{v: n.term}
+}
+
+func digramOf(n *node) digram { return digram{refOf(n), refOf(n.next)} }
+
+// Grammar incrementally builds a SEQUITUR grammar. The zero value is not
+// usable; call New.
+type Grammar struct {
+	root   *Rule
+	rules  map[int]*Rule
+	nextID int
+	index  map[digram]*node
+	length int
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	g := &Grammar{rules: make(map[int]*Rule), index: make(map[digram]*node)}
+	g.root = g.newRule()
+	return g
+}
+
+// Parse builds a grammar over the whole input.
+func Parse(input []uint64) *Grammar {
+	g := New()
+	for _, v := range input {
+		g.Append(v)
+	}
+	return g
+}
+
+// Len returns the number of terminals appended so far.
+func (g *Grammar) Len() int { return g.length }
+
+// RuleCount returns the number of live rules, excluding the root.
+func (g *Grammar) RuleCount() int { return len(g.rules) - 1 }
+
+// Root returns the root rule.
+func (g *Grammar) Root() *Rule { return g.root }
+
+func (g *Grammar) newRule() *Rule {
+	r := &Rule{id: g.nextID}
+	g.nextID++
+	guard := &node{owner: r}
+	guard.next, guard.prev = guard, guard
+	r.guard = guard
+	g.rules[r.id] = r
+	return r
+}
+
+// Append extends the input by one terminal symbol, restoring both grammar
+// invariants.
+func (g *Grammar) Append(v uint64) {
+	n := &node{term: v}
+	g.insertAfter(g.root.last(), n)
+	g.length++
+	g.check(n.prev)
+}
+
+// deleteDigram removes the index entry for the digram starting at s, if the
+// index currently points at s. Runs of equal symbols ("aaa") hold several
+// overlapping copies of one digram but only the first is indexed; when that
+// first copy disappears, the index is re-pointed at the surviving
+// overlapping copy so that later repetitions are still detected.
+func (g *Grammar) deleteDigram(s *node) {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
+		return
+	}
+	d := digramOf(s)
+	if g.index[d] != s {
+		return
+	}
+	delete(g.index, d)
+	t := s.next
+	if t.next != nil && !t.next.isGuard() && digramOf(t) == d {
+		g.index[d] = t
+	}
+}
+
+// join links left -> right, first dropping any index entry for the digram
+// that previously started at left.
+func (g *Grammar) join(left, right *node) {
+	if left.next != nil {
+		g.deleteDigram(left)
+	}
+	left.next = right
+	right.prev = left
+}
+
+// insertAfter places y immediately after x.
+func (g *Grammar) insertAfter(x, y *node) {
+	g.join(y, x.next)
+	g.join(x, y)
+}
+
+// unlink removes s from its list, cleaning up the digram index and rule
+// reference counts.
+func (g *Grammar) unlink(s *node) {
+	g.join(s.prev, s.next)
+	if !s.isGuard() {
+		g.deleteDigram(s)
+		if s.rule != nil {
+			s.rule.uses--
+		}
+	}
+}
+
+// check tests the digram starting at s against the index, forming or
+// reusing a rule when a repetition is found. Reports whether the digram
+// duplicated an existing one.
+func (g *Grammar) check(s *node) bool {
+	if s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	d := digramOf(s)
+	m, ok := g.index[d]
+	if !ok {
+		g.index[d] = s
+		return false
+	}
+	if m.next != s { // overlapping occurrences (e.g. "aaa") are left alone
+		g.match(s, m)
+	}
+	return true
+}
+
+// match handles a repeated digram at s and m (m earlier in the grammar).
+func (g *Grammar) match(s, m *node) {
+	var r *Rule
+	if m.prev.isGuard() && m.next.next.isGuard() {
+		// The earlier occurrence is exactly an existing rule body: reuse it.
+		r = m.prev.owner
+		g.substitute(s, r)
+	} else {
+		// Create a new rule for the digram.
+		r = g.newRule()
+		g.insertAfter(r.last(), g.copySym(s))
+		g.insertAfter(r.last(), g.copySym(s.next))
+		g.substitute(m, r)
+		g.substitute(s, r)
+		g.index[digramOf(r.first())] = r.first()
+	}
+	// Rule utility: if the rule's first symbol references a rule that is now
+	// used only once, inline that rule.
+	if r.first().rule != nil && r.first().rule.uses == 1 {
+		g.expand(r.first())
+	}
+}
+
+// copySym duplicates a symbol node (for building a new rule body).
+func (g *Grammar) copySym(s *node) *node {
+	n := &node{term: s.term, rule: s.rule}
+	if n.rule != nil {
+		n.rule.uses++
+	}
+	return n
+}
+
+// substitute replaces s and s.next with a reference to r, then re-checks
+// the digrams adjacent to the new reference.
+func (g *Grammar) substitute(s *node, r *Rule) {
+	q := s.prev
+	g.unlink(s.next)
+	g.unlink(s)
+	ref := &node{rule: r}
+	r.uses++
+	g.insertAfter(q, ref)
+	if !g.check(q) {
+		g.check(ref)
+	}
+}
+
+// expand inlines the rule referenced by ref (which must be that rule's only
+// remaining reference) in place of ref. ref is always the first symbol of a
+// rule body, so its predecessor is a guard and no left-side digram exists.
+func (g *Grammar) expand(ref *node) {
+	left, right := ref.prev, ref.next
+	inner := ref.rule
+	f, l := inner.first(), inner.last()
+	delete(g.rules, inner.id)
+	inner.uses = 0
+	g.deleteDigram(ref)
+	g.join(left, f)
+	g.join(l, right)
+	if !l.isGuard() && !right.isGuard() {
+		g.index[digramOf(l)] = l
+	}
+}

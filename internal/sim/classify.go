@@ -1,0 +1,121 @@
+package sim
+
+import "repro/internal/trace"
+
+// Writer identities for blocks last written by agents other than a CPU.
+const (
+	writerNone    int16 = -3
+	writerCopyout int16 = -2
+	writerDMA     int16 = -1
+)
+
+// Classifier implements the paper's miss taxonomy (Section 4.1) from first
+// principles, independent of cache contents:
+//
+//   - Compulsory: the block has never been accessed by any CPU.
+//   - I/O Coherence: the block was last written by a DMA transfer or a
+//     non-allocating kernel-to-user bulk copy, and that write postdates
+//     this CPU's last read (or the CPU never read the block).
+//   - Coherence: the block was written by another processor since it was
+//     last read at this processor, or is being supplied dirty by a remote
+//     cache.
+//   - Replacement: everything else (capacity/conflict).
+//
+// State is kept in flat per-block arrays: a global write version, the
+// identity of the last writer, and a per-CPU "version seen at last read".
+type Classifier struct {
+	ncpu       int
+	writeVer   []uint32
+	lastWriter []int16
+	readVer    [][]uint32
+	touched    []uint64 // bitset: block was accessed by some CPU
+}
+
+// NewClassifier sizes classification state for ncpu CPUs over nblocks
+// blocks of compact address space.
+func NewClassifier(ncpu int, nblocks uint64) *Classifier {
+	c := &Classifier{
+		ncpu:       ncpu,
+		writeVer:   make([]uint32, nblocks),
+		lastWriter: make([]int16, nblocks),
+		readVer:    make([][]uint32, ncpu),
+		touched:    make([]uint64, (nblocks+63)/64),
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = writerNone
+	}
+	for i := range c.readVer {
+		c.readVer[i] = make([]uint32, nblocks)
+	}
+	return c
+}
+
+// Touched reports whether any CPU has accessed block.
+func (c *Classifier) Touched(block uint64) bool {
+	return c.touched[block/64]&(1<<(block%64)) != 0
+}
+
+func (c *Classifier) touch(block uint64) {
+	c.touched[block/64] |= 1 << (block % 64)
+}
+
+// ClassifyRead classifies a read miss by cpu to block. remoteDirty reports
+// that another cache is supplying the block dirty. offChipCMP marks
+// off-chip misses of the single-chip system, where inter-core communication
+// is captured on chip and a miss that leaves the chip is by definition a
+// capacity phenomenon (the paper observes no non-I/O off-chip coherence in
+// single-chip systems); such misses degrade from Coherence to Replacement.
+//
+// Call before NoteRead for the same access.
+func (c *Classifier) ClassifyRead(cpu int, block uint64, remoteDirty, offChipCMP bool) trace.MissClass {
+	if !c.Touched(block) {
+		return trace.Compulsory
+	}
+	w := c.lastWriter[block]
+	rv := c.readVer[cpu][block]
+	writtenSinceMyRead := rv > 0 && c.writeVer[block]+1 > rv
+	switch {
+	case (w == writerDMA || w == writerCopyout) && writtenSinceMyRead:
+		// The I/O write invalidated a copy this CPU had actually read:
+		// a true I/O-coherence miss. First-ever reads of I/O-written data
+		// are compulsory (handled above) or plain replacement.
+		return trace.IOCoherence
+	case w >= 0 && int(w) != cpu && (remoteDirty || writtenSinceMyRead):
+		if offChipCMP {
+			return trace.Replacement
+		}
+		return trace.Coherence
+	default:
+		return trace.Replacement
+	}
+}
+
+// NoteRead records that cpu observed the current version of block.
+func (c *Classifier) NoteRead(cpu int, block uint64) {
+	c.touch(block)
+	c.readVer[cpu][block] = c.writeVer[block] + 1
+}
+
+// NoteWrite records a store by cpu, bumping the block version. The writer
+// trivially holds the new version.
+func (c *Classifier) NoteWrite(cpu int, block uint64) {
+	c.touch(block)
+	c.writeVer[block]++
+	c.lastWriter[block] = int16(cpu)
+	c.readVer[cpu][block] = c.writeVer[block] + 1
+}
+
+// NoteDMA records a DMA write. DMA writes do not count as CPU accesses for
+// compulsory-miss purposes: the first CPU touch of freshly arrived I/O data
+// is a compulsory miss, exactly as in the paper's physical-address traces.
+func (c *Classifier) NoteDMA(block uint64) {
+	c.writeVer[block]++
+	c.lastWriter[block] = writerDMA
+}
+
+// NoteCopyout records a non-allocating kernel-to-user bulk-copy store
+// (the Solaris default_copyout family).
+func (c *Classifier) NoteCopyout(block uint64) {
+	c.writeVer[block]++
+	c.lastWriter[block] = writerCopyout
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/trace"
+)
+
+// CMP models the single-chip multiprocessor: private split L1s per core
+// and one shared L2, non-inclusive (victim-style: blocks move L2 -> L1 on
+// hits and L1 -> L2 on evictions), with a MOSI intra-chip protocol closely
+// following Piranha. Two traces are collected:
+//
+//   - off-chip: L1 misses that no on-chip cache can satisfy (Figure 1
+//     left, "single-chip"; Figure 2/3/4 "single-chip" context);
+//   - intra-chip: L1 misses satisfied by the shared L2 or a peer L1
+//     (Figure 1 right; the "intra-chip" analysis context).
+//
+// Following the paper, an intra-chip miss's class (Coherence vs
+// Replacement) is its cause, while its Supplier records which level
+// provided the data: coherence misses may be satisfied by a peer L1 or by
+// the L2 (after the owner's dirty line was evicted into it).
+type CMP struct {
+	ncpu  int
+	l1i   []*cache.Cache
+	l1d   []*cache.Cache
+	l2    *cache.Cache
+	pres  *coherence.Presence
+	cls   *Classifier
+	off   trace.Trace
+	intra trace.Trace
+	instr uint64
+}
+
+// NewCMP builds a single-chip system with ncpu cores over a compact
+// address space of nblocks blocks.
+func NewCMP(ncpu int, p CacheParams, nblocks uint64) *CMP {
+	m := &CMP{
+		ncpu: ncpu,
+		l2:   cache.New(cache.Config{Bytes: p.L2Bytes, Ways: p.L2Ways, BlockBits: 6}),
+		pres: coherence.NewPresence(nblocks),
+		cls:  NewClassifier(ncpu, nblocks),
+	}
+	for i := 0; i < ncpu; i++ {
+		m.l1i = append(m.l1i, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+		m.l1d = append(m.l1d, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+	}
+	m.off.CPUs = ncpu
+	m.intra.CPUs = ncpu
+	return m
+}
+
+// CPUs implements Machine.
+func (m *CMP) CPUs() int { return m.ncpu }
+
+// OffChip implements Machine.
+func (m *CMP) OffChip() *trace.Trace { return &m.off }
+
+// IntraChip implements Machine.
+func (m *CMP) IntraChip() *trace.Trace { return &m.intra }
+
+// Tick implements Machine.
+func (m *CMP) Tick(cpu int, n uint64) {
+	m.instr += n
+	m.off.Instructions = m.instr
+	m.intra.Instructions = m.instr
+}
+
+// Classifier exposes the classifier (tests).
+func (m *CMP) Classifier() *Classifier { return m.cls }
+
+// fillL1 inserts b into cpu's L1 (instruction or data side); the victim
+// spills into the shared L2 (victim-style non-inclusion).
+func (m *CMP) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
+	victim, evicted, _ := l1.Insert(b, st)
+	if st.Dirty() {
+		m.pres.SetOwner(b, cpu)
+	} else {
+		m.pres.Add(b, cpu)
+	}
+	if !evicted {
+		return
+	}
+	m.pres.Remove(victim.Block, cpu)
+	// Spill the victim into the L2 unless another L1 still holds it (then
+	// the L2 copy would be redundant; Piranha keeps a single on-chip copy
+	// path - we approximate by only allocating when no L1 copy remains or
+	// the victim is dirty).
+	if m.l2.Contains(victim.Block) {
+		if victim.State.Dirty() {
+			if i, ok := m.l2.Lookup(victim.Block); ok {
+				m.l2.SetState(i, cache.Modified)
+			}
+		}
+		return
+	}
+	l2st := cache.Shared
+	if victim.State.Dirty() {
+		l2st = cache.Modified
+	}
+	if v, ev, _ := m.l2.Insert(victim.Block, l2st); ev {
+		// L2 victim: a dirty line is written back to memory. Non-inclusive
+		// hierarchy: peer L1 copies, if any, survive.
+		_ = v
+	}
+}
+
+// intraMiss records an L1 miss satisfied on chip.
+func (m *CMP) intraMiss(cpu int, b uint64, fn trace.FuncID, class trace.MissClass, sup trace.Supplier) {
+	m.intra.Append(trace.Miss{
+		Addr:     b << 6,
+		Func:     fn,
+		CPU:      uint8(cpu),
+		Class:    class,
+		Supplier: sup,
+	})
+}
+
+// access is the shared read/fetch path.
+func (m *CMP) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
+	b := blockOf(addr)
+	l1 := m.l1d[cpu]
+	if instruction {
+		l1 = m.l1i[cpu]
+	}
+	if i, ok := l1.Lookup(b); ok {
+		l1.Touch(i)
+		m.cls.NoteRead(cpu, b)
+		return
+	}
+	// L1 miss: determine the cause before protocol state changes.
+	owner := m.pres.Owner(b)
+	remoteDirty := owner >= 0 && owner != cpu
+	switch {
+	case remoteDirty:
+		// Peer L1 holds the block dirty: it supplies the data and keeps an
+		// Owned copy (MOSI; no writeback to L2 on the forwarding path).
+		class := m.cls.ClassifyRead(cpu, b, true, false)
+		m.intraMiss(cpu, b, fn, class, trace.SupplierPeerL1)
+		if i, ok := m.l1d[owner].Lookup(b); ok && m.l1d[owner].State(i) == cache.Modified {
+			m.l1d[owner].SetState(i, cache.Owned)
+		}
+		m.fillL1(cpu, l1, b, cache.Shared)
+	default:
+		if i, ok := m.l2.Lookup(b); ok {
+			// Shared L2 hit: move the block up into the L1 (victim-style).
+			class := m.cls.ClassifyRead(cpu, b, false, false)
+			if class == trace.Compulsory || class == trace.IOCoherence {
+				// Cannot happen for on-chip blocks (DMA and copyout
+				// invalidate; untouched blocks are uncached), but keep the
+				// taxonomy total.
+				class = trace.Replacement
+			}
+			m.intraMiss(cpu, b, fn, class, trace.SupplierL2)
+			if m.l2.State(i).Dirty() {
+				// The L2 holds the only dirty copy (the owner's line was
+				// evicted into it). It supplies the data and keeps the
+				// dirty line; the reader gets a Shared copy.
+				m.l2.Touch(i)
+			} else {
+				// Clean line: victim-style move up into the L1.
+				m.l2.SetState(i, cache.Invalid)
+			}
+			m.fillL1(cpu, l1, b, cache.Shared)
+		} else if m.pres.HasPeer(b, cpu) {
+			// Clean copy in a peer L1 only (non-inclusive L2 lost its
+			// copy): the peer supplies.
+			class := m.cls.ClassifyRead(cpu, b, false, false)
+			if class == trace.Compulsory || class == trace.IOCoherence {
+				class = trace.Replacement
+			}
+			m.intraMiss(cpu, b, fn, class, trace.SupplierPeerL1)
+			m.fillL1(cpu, l1, b, cache.Shared)
+		} else {
+			// Off-chip miss.
+			class := m.cls.ClassifyRead(cpu, b, false, true)
+			m.off.Append(trace.Miss{
+				Addr:     b << 6,
+				Func:     fn,
+				CPU:      uint8(cpu),
+				Class:    class,
+				Supplier: trace.SupplierMemory,
+			})
+			m.fillL1(cpu, l1, b, cache.Shared)
+		}
+	}
+	m.cls.NoteRead(cpu, b)
+}
+
+// Read implements Machine.
+func (m *CMP) Read(cpu int, addr uint64, fn trace.FuncID) {
+	m.access(cpu, addr, fn, false)
+}
+
+// Fetch implements Machine.
+func (m *CMP) Fetch(cpu int, addr uint64, fn trace.FuncID) {
+	m.access(cpu, addr, fn, true)
+}
+
+// Write implements Machine. Only read misses are traced; writes drive
+// protocol state (invalidations) and classification versions.
+func (m *CMP) Write(cpu int, addr uint64, fn trace.FuncID) {
+	b := blockOf(addr)
+	if i, ok := m.l1d[cpu].Lookup(b); ok && m.l1d[cpu].State(i) == cache.Modified {
+		m.l1d[cpu].Touch(i)
+		m.cls.NoteWrite(cpu, b)
+		return
+	}
+	// Invalidate every other on-chip copy.
+	m.pres.ForEachHolder(b, cpu, func(peer int) {
+		m.l1i[peer].Invalidate(b)
+		m.l1d[peer].Invalidate(b)
+		m.pres.Remove(b, peer)
+	})
+	m.l2.Invalidate(b)
+	if i, ok := m.l1d[cpu].Lookup(b); ok {
+		m.l1d[cpu].SetState(i, cache.Modified)
+		m.l1d[cpu].Touch(i)
+	} else {
+		m.fillL1(cpu, m.l1d[cpu], b, cache.Modified)
+	}
+	m.pres.SetOwner(b, cpu)
+	m.cls.NoteWrite(cpu, b)
+	_ = fn
+}
+
+// invalidateAll removes every on-chip copy of b.
+func (m *CMP) invalidateAll(b uint64) {
+	m.pres.ForEachHolder(b, -1, func(cpu int) {
+		m.l1i[cpu].Invalidate(b)
+		m.l1d[cpu].Invalidate(b)
+	})
+	m.pres.Clear(b)
+	m.l2.Invalidate(b)
+}
+
+// NonAllocStore implements Machine.
+func (m *CMP) NonAllocStore(cpu int, addr uint64, fn trace.FuncID) {
+	b := blockOf(addr)
+	m.invalidateAll(b)
+	m.cls.NoteCopyout(b)
+	_ = fn
+}
+
+// DMAWrite implements Machine.
+func (m *CMP) DMAWrite(addr uint64, size uint64) {
+	if size == 0 {
+		return
+	}
+	for b := blockOf(addr); b <= blockOf(addr+size-1); b++ {
+		m.invalidateAll(b)
+		m.cls.NoteDMA(b)
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/trace"
+)
+
+// DSM models the multi-chip distributed-shared-memory system: every node
+// has private split L1s and a private inclusive L2; an MSI full-map
+// directory keeps the L2s coherent. Every read that misses the node's
+// hierarchy is an off-chip miss (whether satisfied by memory or a remote
+// node) and is recorded in the off-chip trace.
+type DSM struct {
+	ncpu  int
+	l1i   []*cache.Cache
+	l1d   []*cache.Cache
+	l2    []*cache.Cache
+	dir   *coherence.Directory
+	cls   *Classifier
+	off   trace.Trace
+	instr uint64
+}
+
+// NewDSM builds a multi-chip system of ncpu single-core nodes over a
+// compact address space of nblocks blocks.
+func NewDSM(ncpu int, p CacheParams, nblocks uint64) *DSM {
+	m := &DSM{
+		ncpu: ncpu,
+		dir:  coherence.NewDirectory(nblocks),
+		cls:  NewClassifier(ncpu, nblocks),
+	}
+	for i := 0; i < ncpu; i++ {
+		m.l1i = append(m.l1i, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+		m.l1d = append(m.l1d, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+		m.l2 = append(m.l2, cache.New(cache.Config{Bytes: p.L2Bytes, Ways: p.L2Ways, BlockBits: 6}))
+	}
+	m.off.CPUs = ncpu
+	return m
+}
+
+// CPUs implements Machine.
+func (m *DSM) CPUs() int { return m.ncpu }
+
+// OffChip implements Machine.
+func (m *DSM) OffChip() *trace.Trace { return &m.off }
+
+// IntraChip implements Machine; the DSM has no shared chip.
+func (m *DSM) IntraChip() *trace.Trace { return nil }
+
+// Tick implements Machine.
+func (m *DSM) Tick(cpu int, n uint64) {
+	m.instr += n
+	m.off.Instructions = m.instr
+}
+
+// Classifier exposes the classifier (tests).
+func (m *DSM) Classifier() *Classifier { return m.cls }
+
+// fillL1 inserts b into an L1, spilling any dirty victim's state into the
+// (inclusive) L2.
+func (m *DSM) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
+	victim, evicted, _ := l1.Insert(b, st)
+	if evicted && victim.State.Dirty() {
+		// Inclusive hierarchy: the victim must be present in the L2.
+		if i, ok := m.l2[cpu].Lookup(victim.Block); ok {
+			m.l2[cpu].SetState(i, cache.Modified)
+		}
+	}
+}
+
+// evictL2 handles an L2 victim: back-invalidate the L1s (inclusion) and
+// update the directory (a dirty victim is written back to memory).
+func (m *DSM) evictL2(cpu int, v cache.Victim) {
+	m.l1i[cpu].Invalidate(v.Block)
+	m.l1d[cpu].Invalidate(v.Block)
+	m.dir.RemoveSharer(v.Block, cpu)
+}
+
+// access is the shared read/fetch path. instruction selects the L1I.
+func (m *DSM) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
+	b := blockOf(addr)
+	l1 := m.l1d[cpu]
+	if instruction {
+		l1 = m.l1i[cpu]
+	}
+	if i, ok := l1.Lookup(b); ok {
+		l1.Touch(i)
+		m.cls.NoteRead(cpu, b)
+		return
+	}
+	if i, ok := m.l2[cpu].Lookup(b); ok {
+		// Node-level hit: not an off-chip miss, not traced (the multi-chip
+		// context traces off-chip misses only).
+		m.l2[cpu].Touch(i)
+		m.fillL1(cpu, l1, b, cache.Shared)
+		m.cls.NoteRead(cpu, b)
+		return
+	}
+	// Off-chip read miss.
+	owner := m.dir.Owner(b)
+	remoteDirty := owner >= 0 && owner != cpu
+	class := m.cls.ClassifyRead(cpu, b, remoteDirty, false)
+	m.off.Append(trace.Miss{
+		Addr:     b << 6,
+		Func:     fn,
+		CPU:      uint8(cpu),
+		Class:    class,
+		Supplier: trace.SupplierMemory,
+	})
+	if remoteDirty {
+		// Remote owner downgrades M -> S and writes back.
+		if i, ok := m.l2[owner].Lookup(b); ok {
+			m.l2[owner].SetState(i, cache.Shared)
+		}
+		if i, ok := m.l1d[owner].Lookup(b); ok {
+			m.l1d[owner].SetState(i, cache.Shared)
+		}
+		m.dir.Downgrade(b)
+	}
+	m.dir.AddSharer(b, cpu)
+	if v, ev, _ := m.l2[cpu].Insert(b, cache.Shared); ev {
+		m.evictL2(cpu, v)
+	}
+	m.fillL1(cpu, l1, b, cache.Shared)
+	m.cls.NoteRead(cpu, b)
+}
+
+// Read implements Machine.
+func (m *DSM) Read(cpu int, addr uint64, fn trace.FuncID) {
+	m.access(cpu, addr, fn, false)
+}
+
+// Fetch implements Machine.
+func (m *DSM) Fetch(cpu int, addr uint64, fn trace.FuncID) {
+	m.access(cpu, addr, fn, true)
+}
+
+// Write implements Machine. Write misses are simulated for their coherence
+// side effects but, per the paper's methodology, only read misses are
+// traced.
+func (m *DSM) Write(cpu int, addr uint64, fn trace.FuncID) {
+	b := blockOf(addr)
+	if i, ok := m.l1d[cpu].Lookup(b); ok && m.l1d[cpu].State(i) == cache.Modified {
+		m.l1d[cpu].Touch(i)
+		m.cls.NoteWrite(cpu, b)
+		return
+	}
+	// Gain exclusivity: invalidate all remote copies.
+	m.invalidateRemote(b, cpu)
+	m.dir.SetOwner(b, cpu)
+	if i, ok := m.l2[cpu].Lookup(b); ok {
+		m.l2[cpu].SetState(i, cache.Modified)
+		m.l2[cpu].Touch(i)
+	} else if v, ev, _ := m.l2[cpu].Insert(b, cache.Modified); ev {
+		m.evictL2(cpu, v)
+	}
+	if i, ok := m.l1d[cpu].Lookup(b); ok {
+		m.l1d[cpu].SetState(i, cache.Modified)
+		m.l1d[cpu].Touch(i)
+	} else {
+		m.fillL1(cpu, m.l1d[cpu], b, cache.Modified)
+	}
+	m.cls.NoteWrite(cpu, b)
+}
+
+// invalidateRemote removes every cached copy of b outside node keep
+// (keep == -1 invalidates everywhere).
+func (m *DSM) invalidateRemote(b uint64, keep int) {
+	m.dir.ForEachSharer(b, keep, func(node int) {
+		m.l1i[node].Invalidate(b)
+		m.l1d[node].Invalidate(b)
+		m.l2[node].Invalidate(b)
+		m.dir.RemoveSharer(b, node)
+	})
+}
+
+// NonAllocStore implements Machine: the store invalidates all cached
+// copies (including the writer's own) without allocating.
+func (m *DSM) NonAllocStore(cpu int, addr uint64, fn trace.FuncID) {
+	b := blockOf(addr)
+	m.invalidateRemote(b, -1)
+	m.dir.Clear(b)
+	m.cls.NoteCopyout(b)
+	_ = fn
+}
+
+// DMAWrite implements Machine.
+func (m *DSM) DMAWrite(addr uint64, size uint64) {
+	for b := blockOf(addr); b <= blockOf(addr+size-1); b++ {
+		m.invalidateRemote(b, -1)
+		m.dir.Clear(b)
+		m.cls.NoteDMA(b)
+	}
+}

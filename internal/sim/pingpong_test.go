@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"fmt"
+	"repro/internal/trace"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	m := NewDSM(4, tinyCaches(), testBlocks)
+	b := addr(777)
+	// 4 cpus round-robin: each does Read then Write (mutex enter pattern).
+	for i := 0; i < 40; i++ {
+		cpu := i % 4
+		m.Read(cpu, b, 0)
+		m.Write(cpu, b, 0)
+	}
+	cc := m.OffChip().ClassCounts()
+	fmt.Printf("misses=%d classes=%v\n", m.OffChip().Len(), cc)
+	if cc[trace.Coherence] < 30 {
+		t.Errorf("expected ~36 coherence misses, got %v", cc)
+	}
+}

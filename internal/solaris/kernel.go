@@ -1,0 +1,187 @@
+// Package solaris is a behavioral model of the Solaris 8 kernel subsystems
+// the paper identifies as temporal-stream sources (Table 2): the dispatcher
+// with its per-CPU dispatch queues, synchronization primitives with sleep
+// queues, the software MMU-trap path (TSB + page tables + register
+// windows), system calls, the STREAMS message subsystem, IP packet
+// assembly, bulk memory copies (including the non-allocating
+// default_copyout family), the kmem slab allocator, and the block device
+// driver.
+//
+// The model does not execute kernel code; it allocates the kernel's data
+// structures in the simulated address space and touches them in the same
+// orders the real code paths do, attributing every access to a named
+// function in the paper's category taxonomy.
+package solaris
+
+import (
+	"fmt"
+
+	"repro/internal/memmap"
+	"repro/internal/trace"
+)
+
+// Params sizes the kernel model. All sizes scale with the workload Scale
+// chosen by the assembly layer.
+type Params struct {
+	CPUs          int
+	SleepqBuckets int    // sleep-queue hash buckets
+	TSBEntries    int    // translation storage buffer entries (power of two)
+	TLBEntries    int    // per-CPU TLB entries (power of two)
+	KDataBytes    uint64 // kernel heap for locks, queues, thread structs
+	RxRingBufs    int    // network receive-ring buffers (DMA targets)
+	RxBufBytes    uint64 // bytes per receive buffer
+	MblkBufBytes  uint64 // bytes per STREAMS message buffer
+	MblkCount     int    // STREAMS buffer pool size
+	DiskBufs      int    // block-device buf structs
+}
+
+// DefaultParams returns a small but representative kernel configuration.
+func DefaultParams(ncpu int) Params {
+	return Params{
+		CPUs:          ncpu,
+		SleepqBuckets: 64,
+		TSBEntries:    1 << 13,
+		TLBEntries:    64,
+		KDataBytes:    2 << 20,
+		RxRingBufs:    32,
+		RxBufBytes:    2048,
+		MblkBufBytes:  2048,
+		MblkCount:     512,
+		DiskBufs:      32,
+	}
+}
+
+// Kernel is the assembled kernel model. Create with NewKernel; install its
+// VM and window hooks into every engine Ctx; pass Sched as the engine's
+// Dispatcher and Sync as its SleepHooks.
+type Kernel struct {
+	AS *memmap.AddressSpace
+	ST *trace.SymbolTable
+	P  Params
+
+	Sched *Scheduler
+	Sync  *SyncSystem
+	VM    *VM
+	Net   *NetStack
+	Disk  *BlockDev
+
+	kdata    memmap.Region
+	kdataPos uint64
+
+	mblkCache *KmemCache
+	sysTable  uint64 // syscall dispatch table block
+	ncache    uint64 // directory name cache (8 blocks)
+
+	fns map[string]trace.Func
+
+	nextThreadID int
+	nextProcID   int
+}
+
+// NewKernel builds the kernel model, allocating all kernel regions from as
+// and registering every kernel function in st.
+func NewKernel(as *memmap.AddressSpace, st *trace.SymbolTable, p Params) *Kernel {
+	k := &Kernel{AS: as, ST: st, P: p, fns: make(map[string]trace.Func)}
+	k.kdata = as.Alloc("kernel.kdata", p.KDataBytes)
+	k.registerFunctions()
+
+	k.sysTable = k.AllocBlocks(2)
+	k.ncache = k.AllocBlocks(8)
+
+	k.Sched = newScheduler(k)
+	k.Sync = newSyncSystem(k)
+	k.VM = newVM(k)
+
+	k.mblkCache = k.NewKmemCache("streams_mblk", 64+p.MblkBufBytes, p.MblkCount)
+	k.Net = newNetStack(k)
+	k.Disk = newBlockDev(k)
+	return k
+}
+
+// AllocBlocks hands out n contiguous cache blocks of kernel heap. The
+// kernel heap is sized by Params.KDataBytes; exhausting it is a
+// configuration error and panics.
+func (k *Kernel) AllocBlocks(n int) uint64 {
+	need := uint64(n) * memmap.BlockSize
+	if k.kdataPos+need > k.kdata.Size {
+		panic(fmt.Sprintf("solaris: kernel heap exhausted (%d of %d bytes used)",
+			k.kdataPos, k.kdata.Size))
+	}
+	addr := k.kdata.Base + k.kdataPos
+	k.kdataPos += need
+	return addr
+}
+
+// register adds one named kernel function with a code footprint.
+func (k *Kernel) register(name string, cat trace.Category, codeBytes uint64) {
+	id := k.ST.Register(name, cat, codeBytes)
+	k.fns[name] = k.ST.Func(id)
+}
+
+// Fn returns a registered kernel function descriptor; unknown names panic
+// (they indicate a typo in the model itself).
+func (k *Kernel) Fn(name string) trace.Func {
+	f, ok := k.fns[name]
+	if !ok {
+		panic("solaris: unregistered function " + name)
+	}
+	return f
+}
+
+func (k *Kernel) registerFunctions() {
+	reg := k.register
+	// Kernel task scheduler (Section 2.1, example two).
+	reg("disp", trace.CatScheduler, 256)
+	reg("disp_getwork", trace.CatScheduler, 384)
+	reg("disp_getbest", trace.CatScheduler, 256)
+	reg("dispdeq", trace.CatScheduler, 192)
+	reg("disp_ratify", trace.CatScheduler, 128)
+	reg("setbackdq", trace.CatScheduler, 256)
+	reg("swtch", trace.CatScheduler, 256)
+	// Synchronization primitives.
+	reg("mutex_enter", trace.CatSync, 128)
+	reg("mutex_exit", trace.CatSync, 64)
+	reg("cv_block", trace.CatSync, 256)
+	reg("cv_signal", trace.CatSync, 128)
+	reg("sleepq_insert", trace.CatSync, 192)
+	reg("sleepq_unsleep", trace.CatSync, 192)
+	// MMU and trap handlers.
+	reg("dtlb_miss", trace.CatMMUTrap, 128)
+	reg("itlb_miss", trace.CatMMUTrap, 128)
+	reg("sfmmu_tsb_miss", trace.CatMMUTrap, 256)
+	reg("win_spill", trace.CatMMUTrap, 128)
+	reg("win_fill", trace.CatMMUTrap, 128)
+	// System call implementation.
+	reg("syscall_trap", trace.CatSyscall, 192)
+	reg("poll", trace.CatSyscall, 512)
+	reg("open", trace.CatSyscall, 448)
+	reg("close", trace.CatSyscall, 128)
+	reg("read", trace.CatSyscall, 384)
+	reg("write", trace.CatSyscall, 384)
+	reg("stat", trace.CatSyscall, 256)
+	reg("lookuppn", trace.CatSyscall, 384)
+	// Bulk copies.
+	reg("bcopy", trace.CatBulkCopy, 192)
+	reg("copyin", trace.CatBulkCopy, 128)
+	reg("default_copyout", trace.CatBulkCopy, 192)
+	// STREAMS.
+	reg("strwrite", trace.CatSTREAMS, 384)
+	reg("strread", trace.CatSTREAMS, 384)
+	reg("putnext", trace.CatSTREAMS, 128)
+	reg("putq", trace.CatSTREAMS, 256)
+	reg("getq", trace.CatSTREAMS, 256)
+	reg("allocb", trace.CatSTREAMS, 192)
+	reg("freeb", trace.CatSTREAMS, 128)
+	// IP packet assembly.
+	reg("ip_wput", trace.CatIPPacket, 512)
+	reg("ip_input", trace.CatIPPacket, 512)
+	reg("tcp_output", trace.CatIPPacket, 384)
+	// Kernel - other.
+	reg("kmem_cache_alloc", trace.CatKernelOther, 192)
+	reg("kmem_cache_free", trace.CatKernelOther, 128)
+	reg("taskq_dispatch", trace.CatKernelOther, 192)
+	reg("callout_schedule", trace.CatKernelOther, 128)
+	// Block device driver.
+	reg("bdev_strategy", trace.CatBlockDev, 256)
+	reg("biodone", trace.CatBlockDev, 128)
+}

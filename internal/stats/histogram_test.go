@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram(10)
+	h.Add(0, 1)   // zero bucket
+	h.Add(5, 2)   // [1,10)
+	h.Add(50, 3)  // [10,100)
+	h.Add(500, 4) // [100,1000)
+
+	if h.Total() != 10 {
+		t.Fatalf("Total = %v", h.Total())
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	wantFrac := []float64{0.1, 0.2, 0.3, 0.4}
+	cum := 0.0
+	for i, b := range bs {
+		if math.Abs(b.Frac-wantFrac[i]) > 1e-12 {
+			t.Errorf("bucket %d frac = %v, want %v", i, b.Frac, wantFrac[i])
+		}
+		cum += wantFrac[i]
+		if math.Abs(b.CumLE-cum) > 1e-12 {
+			t.Errorf("bucket %d cum = %v, want %v", i, b.CumLE, cum)
+		}
+	}
+	if last := bs[len(bs)-1]; last.CumLE != 1 {
+		t.Errorf("final cumulative = %v, want 1", last.CumLE)
+	}
+}
+
+func TestLogHistogramBoundaries(t *testing.T) {
+	h := NewLogHistogram(2)
+	h.Add(1, 1) // [1,2)
+	h.Add(2, 1) // [2,4)
+	h.Add(3, 1) // [2,4)
+	h.Add(4, 1) // [4,8)
+	bs := h.Buckets()
+	if bs[0].Weight != 1 || bs[1].Weight != 2 || bs[2].Weight != 1 {
+		t.Errorf("buckets: %+v", bs)
+	}
+}
+
+func TestWeightedQuantile(t *testing.T) {
+	var s WeightedSample
+	s.Add(10, 1)
+	s.Add(20, 1)
+	s.Add(30, 2)
+
+	if got := s.Quantile(0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := s.Quantile(0.25); got != 10 {
+		t.Errorf("q25 = %v", got)
+	}
+	if got := s.Quantile(0.5); got != 20 {
+		t.Errorf("q50 = %v", got)
+	}
+	if got := s.Quantile(0.51); got != 30 {
+		t.Errorf("q51 = %v", got)
+	}
+	if got := s.Quantile(1); got != 30 {
+		t.Errorf("q1 = %v", got)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var s WeightedSample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i), 1)
+	}
+	if got := s.CDFAt(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDFAt(5) = %v", got)
+	}
+	if got := s.CDFAt(0); got != 0 {
+		t.Errorf("CDFAt(0) = %v", got)
+	}
+	if got := s.CDFAt(100); got != 1 {
+		t.Errorf("CDFAt(100) = %v", got)
+	}
+}
+
+func TestQuickHistogramMassConserved(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewLogHistogram(10)
+		for _, v := range vals {
+			h.Add(float64(v), 1)
+		}
+		sum := 0.0
+		for _, b := range h.Buckets() {
+			sum += b.Weight
+		}
+		return math.Abs(sum-float64(len(vals))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s WeightedSample
+		for _, v := range vals {
+			s.Add(float64(v), 1+float64(v%3))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+// Category is the paper's Table 2 code-module taxonomy. Every simulated
+// function is registered under exactly one category; the module-attribution
+// analysis (Tables 3-5) aggregates misses per category.
+type Category uint8
+
+// Categories, in the order of the paper's Table 2. Cross-application
+// categories first, then the web-specific and DB2-specific ones.
+const (
+	CatUnknown Category = iota // Uncategorized / Unknown
+
+	// Cross-application categories.
+	CatBulkCopy    // Bulk memory copies (bcopy, memcpy, default_copyout, ...)
+	CatSyscall     // System call implementation (poll, read, write, open, stat)
+	CatScheduler   // Kernel task scheduler (disp_getwork, disp_getbest, ...)
+	CatMMUTrap     // Kernel MMU and trap handlers (TSB/page-table fill, register windows)
+	CatSync        // Kernel synchronization primitives (mutex, condvar, sleepq)
+	CatKernelOther // Kernel - other activity (kmem, vfs, resource management)
+
+	// Web-specific categories.
+	CatSTREAMS    // Kernel STREAMS subsystem
+	CatIPPacket   // Kernel IP packet assembly
+	CatWebWorker  // Web server worker threads (Apache/Zeus proper)
+	CatPerlInput  // CGI - perl input processing (Perl_sv_gets)
+	CatPerlEngine // CGI - perl execution engine (Perl_pp_*)
+	CatPerlOther  // CGI - perl other
+
+	// DB2-specific categories.
+	CatBlockDev      // Kernel block device driver
+	CatDBAccess      // DB2 index, page, and tuple accesses (sqli, sqld, sqlpg)
+	CatDBReqControl  // DB2 SQL request control (sqlrr, sqlra)
+	CatDBIPC         // DB2 interprocess communication
+	CatDBInterpreter // DB2 SQL runtime interpreter (sqlri)
+	CatDBOther       // DB2 - other activity
+
+	NumCategories // sentinel; not a category
+)
+
+var categoryNames = [NumCategories]string{
+	CatUnknown:       "Uncategorized / Unknown",
+	CatBulkCopy:      "Bulk memory copies",
+	CatSyscall:       "System call implementation",
+	CatScheduler:     "Kernel task scheduler",
+	CatMMUTrap:       "Kernel MMU & trap handlers",
+	CatSync:          "Kernel synchronization primitives",
+	CatKernelOther:   "Kernel - other activity",
+	CatSTREAMS:       "Kernel STREAMS subsystem",
+	CatIPPacket:      "Kernel IP packet assembly",
+	CatWebWorker:     "Web server worker thread pool",
+	CatPerlInput:     "CGI - perl input processing",
+	CatPerlEngine:    "CGI - perl execution engine",
+	CatPerlOther:     "CGI - perl other activity",
+	CatBlockDev:      "Kernel block device driver",
+	CatDBAccess:      "DB2 index, page & tuple accesses",
+	CatDBReqControl:  "DB2 SQL request control",
+	CatDBIPC:         "DB2 interprocess communication",
+	CatDBInterpreter: "DB2 SQL runtime interpreter",
+	CatDBOther:       "DB2 - other activity",
+}
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	if c < NumCategories {
+		return categoryNames[c]
+	}
+	return "invalid category"
+}
+
+// CrossAppCategories lists the categories shared by all three application
+// classes, in Table 2 order.
+func CrossAppCategories() []Category {
+	return []Category{CatBulkCopy, CatSyscall, CatScheduler, CatMMUTrap, CatSync, CatKernelOther}
+}
+
+// WebCategories lists the web-specific categories, in Table 2 order.
+func WebCategories() []Category {
+	return []Category{CatSTREAMS, CatIPPacket, CatWebWorker, CatPerlInput, CatPerlEngine, CatPerlOther}
+}
+
+// DBCategories lists the DB2-specific categories, in Table 2 order.
+func DBCategories() []Category {
+	return []Category{CatBlockDev, CatDBAccess, CatDBReqControl, CatDBIPC, CatDBInterpreter, CatDBOther}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace serialization: a compact varint format so collected traces
+// can be archived and re-analyzed without re-simulation (the paper's
+// FLEXUS flow likewise separates trace collection from analysis).
+//
+// Format: magic "TSTR" | version u8 | cpus uvarint | instructions uvarint |
+// count uvarint | count records. Each record delta-encodes the block
+// address against the previous miss (zig-zag varint; miss streams revisit
+// nearby blocks, so deltas stay short) followed by cpu u8, func uvarint,
+// class u8, supplier u8.
+
+var traceMagic = [4]byte{'T', 'S', 'T', 'R'}
+
+const traceVersion = 1
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(m int, err error) error {
+		n += int64(m)
+		return err
+	}
+	if err := count(bw.Write(traceMagic[:])); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write([]byte{traceVersion})); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		return count(bw.Write(buf[:binary.PutUvarint(buf[:], v)]))
+	}
+	putVarint := func(v int64) error {
+		return count(bw.Write(buf[:binary.PutVarint(buf[:], v)]))
+	}
+	if err := putUvarint(uint64(t.CPUs)); err != nil {
+		return n, err
+	}
+	if err := putUvarint(t.Instructions); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(t.Misses))); err != nil {
+		return n, err
+	}
+	prev := uint64(0)
+	for i := range t.Misses {
+		m := &t.Misses[i]
+		if err := putVarint(int64(m.Addr>>6) - int64(prev>>6)); err != nil {
+			return n, err
+		}
+		prev = m.Addr
+		if err := count(bw.Write([]byte{m.CPU})); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(m.Func)); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write([]byte{byte(m.Class), byte(m.Supplier)})); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != traceMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if hdr[4] != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	cpus, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: cpus: %w", err)
+	}
+	instr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: instructions: %w", err)
+	}
+	cnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: count: %w", err)
+	}
+	t := &Trace{CPUs: int(cpus), Instructions: instr}
+	t.Misses = make([]Miss, 0, cnt)
+	prev := uint64(0)
+	for i := uint64(0); i < cnt; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		block := int64(prev>>6) + delta
+		if block < 0 {
+			return nil, fmt.Errorf("trace: record %d: negative block", i)
+		}
+		addr := uint64(block) << 6
+		prev = addr
+		cpu, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d cpu: %w", i, err)
+		}
+		fn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d func: %w", i, err)
+		}
+		cls, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d class: %w", i, err)
+		}
+		sup, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d supplier: %w", i, err)
+		}
+		if MissClass(cls) >= NumMissClasses || Supplier(sup) >= NumSuppliers {
+			return nil, fmt.Errorf("trace: record %d: invalid class/supplier", i)
+		}
+		t.Misses = append(t.Misses, Miss{
+			Addr: addr, CPU: cpu, Func: FuncID(fn),
+			Class: MissClass(cls), Supplier: Supplier(sup),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := &Trace{CPUs: 16, Instructions: 123456789}
+	for i := 0; i < 10000; i++ {
+		tr.Append(Miss{
+			Addr:     uint64(rng.Intn(1<<24)) << 6,
+			CPU:      uint8(rng.Intn(16)),
+			Func:     FuncID(rng.Intn(200)),
+			Class:    MissClass(rng.Intn(int(NumMissClasses))),
+			Supplier: Supplier(rng.Intn(int(NumSuppliers))),
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.CPUs != tr.CPUs || got.Instructions != tr.Instructions {
+		t.Errorf("header mismatch: %d/%d vs %d/%d", got.CPUs, got.Instructions, tr.CPUs, tr.Instructions)
+	}
+	if !reflect.DeepEqual(got.Misses, tr.Misses) {
+		t.Error("misses do not round-trip")
+	}
+	// Delta encoding should beat 16 bytes/miss comfortably.
+	if per := float64(buf.Len()) / float64(tr.Len()); per > 12 {
+		t.Errorf("encoding uses %.1f bytes/miss, want < 12", per)
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	tr := &Trace{CPUs: 1}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %v, %d misses", err, got.Len())
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("TSTR\x63"),               // bad version
+		append([]byte("TSTR\x01"), 0x80), // truncated varint
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(blocks []uint32, cpus []uint8) bool {
+		tr := &Trace{CPUs: 256}
+		for i, b := range blocks {
+			var cpu uint8
+			if len(cpus) > 0 {
+				cpu = cpus[i%len(cpus)]
+			}
+			tr.Append(Miss{
+				Addr:  uint64(b) << 6,
+				CPU:   cpu,
+				Func:  FuncID(b % 500),
+				Class: MissClass(b % uint32(NumMissClasses)),
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Misses) != len(tr.Misses) {
+			return false
+		}
+		for i := range tr.Misses {
+			if got.Misses[i] != tr.Misses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

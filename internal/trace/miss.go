@@ -1,0 +1,119 @@
+// Package trace defines the record types shared across the simulator and
+// the analysis: memory-access annotations, classified miss records, the
+// function symbol table, and the paper's Table-2 category taxonomy.
+package trace
+
+// MissClass is the paper's off-chip miss classification (Section 4.1),
+// a categorization based on the "four C's" model.
+type MissClass uint8
+
+const (
+	// Compulsory: the cache block has never previously been accessed.
+	Compulsory MissClass = iota
+	// Coherence: the block was written by another processor since it was
+	// last read at this processor.
+	Coherence
+	// IOCoherence: the block was last written by a DMA transfer or an
+	// OS-to-user bulk memory copy performed with non-allocating stores.
+	IOCoherence
+	// Replacement: all remaining misses (capacity or conflict; with 16-way
+	// L2s, mostly capacity).
+	Replacement
+
+	NumMissClasses
+)
+
+var missClassNames = [NumMissClasses]string{
+	Compulsory:  "Compulsory",
+	Coherence:   "Coherence",
+	IOCoherence: "I/O Coherence",
+	Replacement: "Replacement",
+}
+
+func (c MissClass) String() string {
+	if c < NumMissClasses {
+		return missClassNames[c]
+	}
+	return "invalid miss class"
+}
+
+// Supplier records which level of the hierarchy satisfied an L1 miss in the
+// single-chip system (Figure 1 right). Off-chip misses have SupplierMemory.
+type Supplier uint8
+
+const (
+	// SupplierMemory: the miss left the chip (or, in the multi-chip model,
+	// the node) and was satisfied by memory or a remote node.
+	SupplierMemory Supplier = iota
+	// SupplierL2: the shared L2 supplied the block.
+	SupplierL2
+	// SupplierPeerL1: a peer core's L1 supplied the block.
+	SupplierPeerL1
+
+	NumSuppliers
+)
+
+var supplierNames = [NumSuppliers]string{
+	SupplierMemory: "Memory",
+	SupplierL2:     "L2",
+	SupplierPeerL1: "Peer-L1",
+}
+
+func (s Supplier) String() string {
+	if s < NumSuppliers {
+		return supplierNames[s]
+	}
+	return "invalid supplier"
+}
+
+// Miss is one classified read miss, the unit of every analysis in the
+// paper. Addr is block-aligned. Func attributes the miss to the simulated
+// function whose execution issued the access (the paper recovered this by
+// inspecting the call stack at each miss).
+type Miss struct {
+	Addr     uint64
+	Func     FuncID
+	CPU      uint8
+	Class    MissClass
+	Supplier Supplier
+}
+
+// Trace is an append-only sequence of classified misses plus the
+// instruction counts needed to express rates per 1000 instructions.
+type Trace struct {
+	Misses       []Miss
+	Instructions uint64 // total instructions retired across all CPUs during collection
+	CPUs         int
+}
+
+// Append adds one miss.
+func (t *Trace) Append(m Miss) { t.Misses = append(t.Misses, m) }
+
+// Len returns the number of misses collected.
+func (t *Trace) Len() int { return len(t.Misses) }
+
+// MPKI returns misses per 1000 instructions for the whole trace.
+func (t *Trace) MPKI() float64 {
+	if t.Instructions == 0 {
+		return 0
+	}
+	return float64(len(t.Misses)) * 1000 / float64(t.Instructions)
+}
+
+// ClassCounts returns the number of misses per MissClass.
+func (t *Trace) ClassCounts() [NumMissClasses]int {
+	var counts [NumMissClasses]int
+	for i := range t.Misses {
+		counts[t.Misses[i].Class]++
+	}
+	return counts
+}
+
+// SupplierCounts returns the number of misses per Supplier.
+func (t *Trace) SupplierCounts() [NumSuppliers]int {
+	var counts [NumSuppliers]int
+	for i := range t.Misses {
+		counts[t.Misses[i].Supplier]++
+	}
+	return counts
+}

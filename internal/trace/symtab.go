@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memmap"
+)
+
+// FuncID identifies a registered simulated function. The zero FuncID is the
+// "unknown" function in category CatUnknown.
+type FuncID uint16
+
+// Func describes one simulated function: its name (mimicking the symbols
+// the paper recovered with mdb/nm), its Table-2 category, and the code
+// region its instruction fetches touch.
+type Func struct {
+	ID       FuncID
+	Name     string
+	Category Category
+	Code     memmap.Region // instruction footprint; may be empty (Size 0)
+}
+
+// SymbolTable registers simulated functions and allocates their code
+// footprints, playing the role of the paper's symbol index obtained from
+// the Solaris kernel debugger and nm.
+type SymbolTable struct {
+	funcs  []Func
+	byName map[string]FuncID
+	as     *memmap.AddressSpace
+}
+
+// NewSymbolTable returns a table that allocates code regions from as.
+// FuncID 0 is pre-registered as "<unknown>" with no code footprint.
+func NewSymbolTable(as *memmap.AddressSpace) *SymbolTable {
+	st := &SymbolTable{byName: make(map[string]FuncID), as: as}
+	st.funcs = append(st.funcs, Func{ID: 0, Name: "<unknown>", Category: CatUnknown})
+	st.byName["<unknown>"] = 0
+	return st
+}
+
+// Register adds a function with the given instruction footprint in bytes
+// (rounded up to whole blocks; zero means no code region, e.g. for
+// pseudo-functions). Registering the same name twice panics: the workload
+// models build their symbol tables once, at construction.
+func (st *SymbolTable) Register(name string, cat Category, codeBytes uint64) FuncID {
+	if _, dup := st.byName[name]; dup {
+		panic(fmt.Sprintf("trace: duplicate function %q", name))
+	}
+	id := FuncID(len(st.funcs))
+	var code memmap.Region
+	if codeBytes > 0 {
+		code = st.as.Alloc("text:"+name, codeBytes)
+	}
+	st.funcs = append(st.funcs, Func{ID: id, Name: name, Category: cat, Code: code})
+	st.byName[name] = id
+	return id
+}
+
+// Lookup returns the FuncID for name, or (0, false) if not registered.
+func (st *SymbolTable) Lookup(name string) (FuncID, bool) {
+	id, ok := st.byName[name]
+	return id, ok
+}
+
+// Func returns the descriptor for id. Unknown ids map to FuncID 0.
+func (st *SymbolTable) Func(id FuncID) Func {
+	if int(id) >= len(st.funcs) {
+		return st.funcs[0]
+	}
+	return st.funcs[id]
+}
+
+// CategoryOf returns the category of id.
+func (st *SymbolTable) CategoryOf(id FuncID) Category { return st.Func(id).Category }
+
+// Len returns the number of registered functions, including "<unknown>".
+func (st *SymbolTable) Len() int { return len(st.funcs) }
+
+// Names returns all registered names sorted alphabetically (diagnostics).
+func (st *SymbolTable) Names() []string {
+	names := make([]string, 0, len(st.funcs))
+	for _, f := range st.funcs {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/memmap"
+)
+
+func TestSymbolTable(t *testing.T) {
+	as := memmap.New()
+	st := NewSymbolTable(as)
+
+	if st.Len() != 1 {
+		t.Fatalf("fresh table Len = %d, want 1 (<unknown>)", st.Len())
+	}
+	id := st.Register("disp_getwork", CatScheduler, 512)
+	if id == 0 {
+		t.Fatal("Register returned the unknown id")
+	}
+	f := st.Func(id)
+	if f.Name != "disp_getwork" || f.Category != CatScheduler {
+		t.Errorf("Func = %+v", f)
+	}
+	if f.Code.Size == 0 {
+		t.Error("code region not allocated")
+	}
+	got, ok := st.Lookup("disp_getwork")
+	if !ok || got != id {
+		t.Errorf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := st.Lookup("nope"); ok {
+		t.Error("Lookup of unregistered name succeeded")
+	}
+	if st.CategoryOf(9999) != CatUnknown {
+		t.Error("out-of-range FuncID should map to CatUnknown")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	as := memmap.New()
+	st := NewSymbolTable(as)
+	st.Register("f", CatKernelOther, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	st.Register("f", CatKernelOther, 0)
+}
+
+func TestNoCodeRegionForZeroBytes(t *testing.T) {
+	as := memmap.New()
+	st := NewSymbolTable(as)
+	before := as.Footprint()
+	st.Register("pseudo", CatUnknown, 0)
+	if as.Footprint() != before {
+		t.Error("zero-byte registration allocated code space")
+	}
+}
+
+func TestTraceCountsAndMPKI(t *testing.T) {
+	tr := &Trace{CPUs: 4}
+	tr.Append(Miss{Addr: 0x40, CPU: 0, Class: Compulsory})
+	tr.Append(Miss{Addr: 0x80, CPU: 1, Class: Coherence, Supplier: SupplierPeerL1})
+	tr.Append(Miss{Addr: 0xc0, CPU: 1, Class: Coherence, Supplier: SupplierL2})
+	tr.Append(Miss{Addr: 0x100, CPU: 2, Class: Replacement, Supplier: SupplierL2})
+	tr.Instructions = 2000
+
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.MPKI(); got != 2.0 {
+		t.Errorf("MPKI = %v, want 2", got)
+	}
+	cc := tr.ClassCounts()
+	if cc[Compulsory] != 1 || cc[Coherence] != 2 || cc[Replacement] != 1 || cc[IOCoherence] != 0 {
+		t.Errorf("ClassCounts = %v", cc)
+	}
+	sc := tr.SupplierCounts()
+	if sc[SupplierL2] != 2 || sc[SupplierPeerL1] != 1 || sc[SupplierMemory] != 1 {
+		t.Errorf("SupplierCounts = %v", sc)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" || c.String() == "invalid category" {
+			t.Errorf("category %d has no name", c)
+		}
+	}
+	if NumCategories.String() != "invalid category" {
+		t.Error("sentinel must be invalid")
+	}
+	total := 1 + len(CrossAppCategories()) + len(WebCategories()) + len(DBCategories())
+	if total != int(NumCategories) {
+		t.Errorf("category lists cover %d of %d categories", total, NumCategories)
+	}
+}
+
+func TestMissClassAndSupplierNames(t *testing.T) {
+	for c := MissClass(0); c < NumMissClasses; c++ {
+		if c.String() == "invalid miss class" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+	for s := Supplier(0); s < NumSuppliers; s++ {
+		if s.String() == "invalid supplier" {
+			t.Errorf("supplier %d unnamed", s)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/solaris"
+)
+
+// OLTP models the paper's TPC-C 3.0 toolkit on DB2: a pool of database
+// agents, each serving one client connection over IPC, executing the
+// TPC-C transaction mix against warehouse/district/customer/stock/item/
+// orders tables and their B+-tree indices. Hot meta-data (warehouse and
+// district rows, the transaction table, the log head, lock buckets)
+// migrates between processors and produces the coherence traffic that
+// dominates OLTP's multi-chip misses; index traversals produce the
+// repetitive replacement misses of the sqli module.
+
+// oltpSchema is the shared database.
+type oltpSchema struct {
+	warehouses int
+
+	warehouse *db.Table
+	district  *db.Table
+	customer  *db.Table
+	stock     *db.Table
+	item      *db.Table
+	orders    *db.Table
+
+	custIdx  *db.BTree
+	itemIdx  *db.BTree
+	stockIdx *db.BTree
+	orderIdx *db.BTree
+
+	planNewOrder    *db.Plan
+	planPayment     *db.Plan
+	planOrderStatus *db.Plan
+	planDelivery    *db.Plan
+	planStockLevel  *db.Plan
+
+	orderSeq int
+}
+
+// tablespace ids for OLTP.
+const (
+	spWarehouse = iota + 1
+	spDistrict
+	spCustomer
+	spStock
+	spItem
+	spOrders
+	spCustIdx
+	spStockIdx
+	spItemIdx
+	spOrderIdx
+)
+
+func buildOLTP(b *builder) {
+	f := b.cfg.Scale.factor()
+	dp := db.DefaultParams()
+	dp.BufferPoolPages = 8192 * f
+	dp.PoolLatches = 8
+	dp.StagingPages = 24 // OLTP's random paging recycles a narrow fs-cache slice
+	b.d = db.New(b.k, dp)
+	d := b.d
+
+	s := &oltpSchema{warehouses: 4 * f}
+	// The database exceeds the buffer pool (the paper's 10 GB database vs
+	// 450 MB pool): cold-tail accesses page from disk, producing OLTP's
+	// I/O-coherence and compulsory misses; the hot set stays resident.
+	customers := 96000 * f
+	stockRows := 160000 * f
+	items := 4000 * f
+	orders := 160000 * f
+
+	s.warehouse = db.NewTable(d, spWarehouse, 0, s.warehouses, 512)
+	s.district = db.NewTable(d, spDistrict, 0, s.warehouses*10, 256)
+	s.customer = db.NewTable(d, spCustomer, 0, customers, 256)
+	s.stock = db.NewTable(d, spStock, 0, stockRows, 128)
+	s.item = db.NewTable(d, spItem, 0, items, 128)
+	s.orders = db.NewTable(d, spOrders, 0, orders, 128)
+
+	s.custIdx = db.NewBTree(d, spCustIdx, customers, 128, b.rng)
+	s.stockIdx = db.NewBTree(d, spStockIdx, stockRows, 128, b.rng)
+	s.itemIdx = db.NewBTree(d, spItemIdx, items, 128, b.rng)
+	s.orderIdx = db.NewBTree(d, spOrderIdx, orders, 128, b.rng)
+
+	s.planNewOrder = d.NewPlan("neworder", 48, b.rng)
+	s.planPayment = d.NewPlan("payment", 32, b.rng)
+	s.planOrderStatus = d.NewPlan("orderstatus", 24, b.rng)
+	s.planDelivery = d.NewPlan("delivery", 32, b.rng)
+	s.planStockLevel = d.NewPlan("stocklevel", 24, b.rng)
+
+	// 64 client agents in the paper's configuration; scale with CPUs.
+	agents := 4 * b.ncpu
+	for i := 0; i < agents; i++ {
+		a := &oltpAgent{
+			s:     s,
+			d:     d,
+			rng:   rand.New(rand.NewSource(b.cfg.Seed + int64(i)*104729)),
+			id:    i,
+			homeW: i % s.warehouses,
+			ipc:   d.NewIPC(1024),
+			agent: d.NewAgent(),
+			proc:  b.k.NewProcess(),
+		}
+		b.addThread(a, "db2agent", i%b.ncpu)
+	}
+
+	// Warm the resident part of the pool: index upper levels plus the hot
+	// prefix of each table and index (the cold tail lives on disk, as in
+	// the paper's configuration).
+	b.warm = func(ctx *engine.Ctx) {
+		warmPages := func(space uint32, from, to uint32) {
+			for p := from; p < to; p++ {
+				frame := d.BP.Fetch(ctx, db.PageID{Space: space, Num: p})
+				ctx.ReadN(frame, dp.PageBytes)
+			}
+		}
+		for _, it := range []struct {
+			t  *db.BTree
+			sp uint32
+		}{{s.custIdx, spCustIdx}, {s.stockIdx, spStockIdx}, {s.itemIdx, spItemIdx}, {s.orderIdx, spOrderIdx}} {
+			span := it.t.PageSpan()
+			n := span/6 + 2
+			if n > span {
+				n = span
+			}
+			warmPages(it.sp, 0, n)
+		}
+		warmTable := func(t *db.Table, space uint32, frac uint32) {
+			n := t.Pages()
+			if frac > 1 {
+				n = n/frac + 1
+			}
+			warmPages(space, 0, n)
+		}
+		warmTable(s.warehouse, spWarehouse, 1)
+		warmTable(s.district, spDistrict, 1)
+		warmTable(s.item, spItem, 1)
+		warmTable(s.customer, spCustomer, 8)
+		warmTable(s.stock, spStock, 8)
+		warmTable(s.orders, spOrders, 8)
+	}
+}
+
+// oltpAgent is one database agent thread serving one client.
+type oltpAgent struct {
+	s     *oltpSchema
+	d     *db.Engine
+	rng   *rand.Rand
+	id    int
+	homeW int
+	ipc   *db.IPC
+	agent *db.Agent
+	proc  *solaris.Process
+
+	phase int
+}
+
+// Step runs one client interaction as a three-phase state machine
+// (receive, execute, reply), keeping the CPU between phases so that
+// dispatch queues build up elsewhere and idle CPUs steal.
+func (a *oltpAgent) Step(ctx *engine.Ctx) engine.Step {
+	switch a.phase {
+	case 0:
+		// The agent wakes from the client doorbell: poll the IPC fd, then
+		// read the request (the paper's OLTP syscall activity is dominated
+		// by I/O system calls on behalf of the client connections).
+		a.d.K.Poll(ctx, a.proc, nil)
+		a.ipc.ServerRecv(ctx, 256)
+		a.agent.StmtBegin(ctx)
+		a.phase = 1
+		return engine.Step{Outcome: engine.Continue}
+	case 1:
+		switch r := a.rng.Intn(100); {
+		case r < 45:
+			a.newOrder(ctx)
+		case r < 88:
+			a.payment(ctx)
+		case r < 92:
+			a.orderStatus(ctx)
+		case r < 96:
+			a.delivery(ctx)
+		default:
+			a.stockLevel(ctx)
+		}
+		ctx.AddInstr(2500) // parser/optimizer work between data accesses
+		a.phase = 2
+		return engine.Step{Outcome: engine.Continue}
+	default:
+		a.agent.StmtEnd(ctx)
+		a.ipc.ServerReply(ctx, 512)
+		// The client process consumes the reply and posts the next request
+		// from whichever CPU it runs on; the agent, after waking (usually
+		// on another CPU), reads a remotely written buffer.
+		a.ipc.ClientRecv(ctx, 512)
+		a.ipc.ClientSend(ctx, 256)
+		a.phase = 0
+		return engine.Step{Outcome: engine.Sleep, SleepTicks: uint64(6 + a.rng.Intn(15))}
+	}
+}
+
+// pickW returns the home warehouse 90% of the time, a remote one
+// otherwise (TPC-C's remote transactions create cross-CPU row sharing).
+func (a *oltpAgent) pickW(rng *rand.Rand) int {
+	if rng.Intn(100) < 90 {
+		return a.homeW
+	}
+	return rng.Intn(a.s.warehouses)
+}
+
+// pickSkewed returns an index in [0, n) with strong temporal skew: 96% of
+// picks land in a hot eighth of the space (TPC-C's NURand-style locality).
+// The hot set is sized to slightly exceed one L2, as in the paper's
+// configuration: hot traversals therefore keep missing - repetitively -
+// which is what gives OLTP its repetitive replacement misses.
+func pickSkewed(rng *rand.Rand, n int) int {
+	if n < 32 {
+		return rng.Intn(n)
+	}
+	if rng.Intn(100) < 96 {
+		return rng.Intn(n / 8)
+	}
+	return rng.Intn(n)
+}
+
+func (a *oltpAgent) newOrder(ctx *engine.Ctx) {
+	s, d := a.s, a.d
+	slot := d.Txns.Begin(ctx)
+	s.planNewOrder.Interpret(ctx, a.rng.Intn(s.planNewOrder.Ops()), 6)
+
+	w := a.pickW(a.rng)
+	dist := w*10 + a.rng.Intn(10)
+	lh := d.Locks.Lock(ctx, uint64(dist))
+	s.district.RowUpdate(ctx, dist)
+
+	lines := 5 + a.rng.Intn(6)
+	for i := 0; i < lines; i++ {
+		item := pickSkewed(a.rng, s.item.Rows)
+		s.itemIdx.Search(ctx, item)
+		s.item.RowFetch(ctx, item)
+		stockRid := (w*s.stock.Rows/s.warehouses + item) % s.stock.Rows
+		s.stockIdx.Search(ctx, stockRid)
+		s.stock.RowUpdate(ctx, stockRid)
+		s.planNewOrder.Interpret(ctx, i*7, 3)
+	}
+
+	cust := pickSkewed(a.rng, s.customer.Rows)
+	s.custIdx.Search(ctx, cust)
+	s.customer.RowFetch(ctx, cust)
+
+	s.orderSeq++
+	ord := s.orderSeq % s.orders.Rows
+	s.orderIdx.Insert(ctx, ord)
+	s.orders.RowUpdate(ctx, ord)
+
+	d.Locks.Unlock(ctx, lh)
+	d.Txns.Commit(ctx, slot)
+}
+
+func (a *oltpAgent) payment(ctx *engine.Ctx) {
+	s, d := a.s, a.d
+	slot := d.Txns.Begin(ctx)
+	s.planPayment.Interpret(ctx, a.rng.Intn(s.planPayment.Ops()), 4)
+
+	w := a.pickW(a.rng)
+	lh := d.Locks.Lock(ctx, uint64(1000+w))
+	s.warehouse.RowUpdate(ctx, w) // the hottest rows in TPC-C
+	dist := w*10 + a.rng.Intn(10)
+	s.district.RowUpdate(ctx, dist)
+
+	cust := pickSkewed(a.rng, s.customer.Rows)
+	s.custIdx.Search(ctx, cust)
+	s.customer.RowUpdate(ctx, cust)
+
+	d.Locks.Unlock(ctx, lh)
+	d.Txns.Commit(ctx, slot)
+}
+
+// scanStart quantizes a scan's starting key to its district's region of
+// the order index, so that successive scans overlap: overlapping B+-tree
+// range scans over the same sibling links are the paper's motivating
+// example one, and the main source of repetitive replacement misses in
+// OLTP's single-chip context.
+func (a *oltpAgent) scanStart(w, dist int) int {
+	nd := a.s.warehouses * 10
+	return (w*10 + dist) % nd * (a.s.orders.Rows / nd)
+}
+
+func (a *oltpAgent) orderStatus(ctx *engine.Ctx) {
+	s := a.s
+	cust := pickSkewed(a.rng, s.customer.Rows)
+	s.custIdx.Search(ctx, cust)
+	s.customer.RowFetch(ctx, cust)
+	start := a.scanStart(a.homeW, a.rng.Intn(10))
+	rows := 0
+	s.orderIdx.Scan(ctx, start, 400, func(leaf int) {
+		if rows < 5 {
+			s.orders.RowFetch(ctx, (start+rows)%s.orders.Rows)
+			rows++
+		}
+	})
+	s.planOrderStatus.Interpret(ctx, 0, 5)
+}
+
+func (a *oltpAgent) delivery(ctx *engine.Ctx) {
+	s, d := a.s, a.d
+	slot := d.Txns.Begin(ctx)
+	start := a.scanStart(a.pickW(a.rng), a.rng.Intn(10))
+	updated := 0
+	s.orderIdx.Scan(ctx, start, 500, func(leaf int) {
+		if updated < 10 {
+			s.orders.RowUpdate(ctx, (start+updated)%s.orders.Rows)
+			updated++
+		}
+	})
+	s.planDelivery.Interpret(ctx, 0, 6)
+	d.Txns.Commit(ctx, slot)
+}
+
+func (a *oltpAgent) stockLevel(ctx *engine.Ctx) {
+	s := a.s
+	w := a.homeW
+	dist := w*10 + a.rng.Intn(10)
+	s.district.RowFetch(ctx, dist)
+	start := (w * s.stock.Rows / s.warehouses) % s.stock.Rows
+	checked := 0
+	s.stockIdx.Scan(ctx, start, 2000, func(leaf int) {
+		if checked%4 == 0 {
+			s.stock.RowFetch(ctx, (start+checked*13)%s.stock.Rows)
+		}
+		checked++
+	})
+	s.planStockLevel.Interpret(ctx, 0, 6)
+}

@@ -1,0 +1,414 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/memmap"
+	"repro/internal/solaris"
+	"repro/internal/trace"
+)
+
+// Web models SPECweb99 on Apache (worker threading) and Zeus
+// (event-driven), both with FastCGI dynamic content: a pool of perl
+// processes receives requests over STREAMS-based stdio, parses them with
+// Perl_sv_gets (the single most repetitive function in the paper, ~99%),
+// walks the same op tree for every request, and writes the generated page
+// back, which the server then packetizes through the kernel's STREAMS and
+// IP modules. Incoming network data lands in reused DMA ring buffers, so
+// the web applications' bulk copies are largely repetitive - in contrast
+// to DSS.
+
+// webSymbols are the user-level functions of the web stack.
+type webSymbols struct {
+	parseReq trace.Func // server request parsing (worker thread pool)
+	workConn trace.Func // connection state machine bookkeeping
+	svGets   trace.Func // Perl_sv_gets
+	ppOps    []trace.Func
+	svGrow   trace.Func
+	leave    trace.Func
+}
+
+// webShared is the server-wide state.
+type webShared struct {
+	syms     webSymbols
+	conf     []uint64 // server configuration blocks (hot, read-only)
+	files    []*solaris.File
+	hotFiles int
+	perls    []*perlProc
+	rrPerl   int
+}
+
+type webConn struct {
+	sock  *solaris.Stream
+	proc  *solaris.Process
+	state uint64 // connection record block
+
+	// Per-connection user buffers. SPECweb99 cycles through 16K
+	// connections; each new connection gets fresh buffer pages, so the
+	// buffer area is a ring of slots rotated on keep-alive expiry -
+	// producing the steady trickle of compulsory misses real servers show.
+	bufBase  uint64
+	slot     int
+	slots    int
+	requests int
+
+	reqBuf  uint64
+	respBuf uint64
+	fileBuf uint64
+}
+
+// rotate moves the connection to its next buffer slot (connection churn).
+func (c *webConn) rotate() {
+	c.slot = (c.slot + 1) % c.slots
+	base := c.bufBase + uint64(c.slot)*(24<<10)
+	c.reqBuf = base
+	c.respBuf = base + 8<<10
+	c.fileBuf = base + 16<<10
+}
+
+// endRequest counts a completed request and expires the connection every
+// sixth one.
+func (c *webConn) endRequest() {
+	c.requests++
+	if c.requests%6 == 0 {
+		c.rotate()
+	}
+}
+
+func buildWeb(b *builder) {
+	f := b.cfg.Scale.factor()
+	k := b.k
+	s := &webShared{}
+	s.syms = registerWebSymbols(b, b.cfg.App)
+
+	for i := 0; i < 8; i++ {
+		s.conf = append(s.conf, k.AllocBlocks(1))
+	}
+	// SPECweb99-like static file set with a hot subset; the full set far
+	// exceeds the L2, the hot subset roughly matches it.
+	nfiles := 1536 * f
+	for i := 0; i < nfiles; i++ {
+		size := uint64(512 + (i%8)*512)
+		s.files = append(s.files, k.NewFile("web", size))
+	}
+	s.hotFiles = nfiles / 4
+
+	// FastCGI perl process pool.
+	nperl := 2 * b.ncpu
+	for i := 0; i < nperl; i++ {
+		s.perls = append(s.perls, newPerlProc(b, s, i))
+	}
+	for i, pp := range s.perls {
+		b.addThread(pp, "perl", i%b.ncpu)
+	}
+
+	if b.cfg.App == Apache {
+		// Worker threading model: many workers, one connection each.
+		nworkers := 3 * b.ncpu
+		for i := 0; i < nworkers; i++ {
+			w := &webWorker{
+				s:    s,
+				k:    k,
+				rng:  rand.New(rand.NewSource(b.cfg.Seed + int64(i)*6151)),
+				conn: newWebConn(b, k),
+			}
+			b.addThread(w, "httpd.worker", i%b.ncpu)
+		}
+	} else {
+		// Zeus: one event loop per CPU multiplexing several connections.
+		for i := 0; i < b.ncpu; i++ {
+			loop := &zeusLoop{
+				s:   s,
+				k:   k,
+				rng: rand.New(rand.NewSource(b.cfg.Seed + int64(i)*9311)),
+			}
+			for c := 0; c < 4; c++ {
+				loop.conns = append(loop.conns, newWebConn(b, k))
+			}
+			b.addThread(loop, "zeus.event", i)
+		}
+	}
+
+	// Warm the file cache so static serving is cache-to-user copies, not
+	// disk I/O, as in a steady-state SPECweb run. (Regions must be
+	// allocated now: the machine is sized before the warm pass runs.)
+	warmProc := k.NewProcess()
+	warmBuf := k.AS.Alloc("warmbuf", 16<<10)
+	b.warm = func(ctx *engine.Ctx) {
+		for _, file := range s.files {
+			k.ReadFile(ctx, warmProc, file, 0, file.Size(), warmBuf.Base)
+		}
+	}
+}
+
+func registerWebSymbols(b *builder, app App) webSymbols {
+	st := b.st
+	var sy webSymbols
+	serverParse, serverConn := "ap_read_request", "ap_process_connection"
+	if app == Zeus {
+		serverParse, serverConn = "zeus_parse_request", "zeus_event_dispatch"
+	}
+	reg := func(name string, cat trace.Category, code uint64) trace.Func {
+		return st.Func(st.Register(name, cat, code))
+	}
+	sy.parseReq = reg(serverParse, trace.CatWebWorker, 768)
+	sy.workConn = reg(serverConn, trace.CatWebWorker, 512)
+	sy.svGets = reg("Perl_sv_gets", trace.CatPerlInput, 512)
+	for _, n := range []string{"Perl_pp_const", "Perl_pp_entersub", "Perl_pp_print", "Perl_runops_standard"} {
+		sy.ppOps = append(sy.ppOps, reg(n, trace.CatPerlEngine, 384))
+	}
+	sy.svGrow = reg("Perl_sv_grow", trace.CatPerlOther, 384)
+	sy.leave = reg("Perl_leave_scope", trace.CatPerlOther, 320)
+	return sy
+}
+
+func newWebConn(b *builder, k *solaris.Kernel) *webConn {
+	const slots = 8
+	bufs := k.AS.Alloc("web.connbufs", slots*(24<<10))
+	c := &webConn{
+		sock:    k.NewStream(4), // stream head -> sockmod -> tcp -> ip
+		proc:    k.NewProcess(),
+		state:   k.AllocBlocks(1),
+		bufBase: bufs.Base,
+		slots:   slots,
+	}
+	c.slot = -1
+	c.rotate()
+	return c
+}
+
+// serveStatic handles a static request on conn: open/stat/read the file
+// from the page cache into the user buffer, then send it.
+func serveStatic(ctx *engine.Ctx, s *webShared, k *solaris.Kernel, conn *webConn, rng *rand.Rand) {
+	var file *solaris.File
+	if rng.Intn(100) < 70 {
+		file = s.files[rng.Intn(s.hotFiles)]
+	} else {
+		file = s.files[rng.Intn(len(s.files))]
+	}
+	k.Open(ctx, conn.proc, file)
+	k.Stat(ctx, conn.proc, file)
+	if rng.Intn(1000) < 5 {
+		file.EvictCache() // page-cache pressure: occasional re-read from disk
+	}
+	n := k.ReadFile(ctx, conn.proc, file, 0, file.Size(), conn.fileBuf)
+	k.Net.Send(ctx, conn.proc, conn.sock, conn.fileBuf, n)
+}
+
+// receiveRequest models the arrival and reading of one HTTP request.
+func receiveRequest(ctx *engine.Ctx, s *webShared, k *solaris.Kernel, conn *webConn, rng *rand.Rand) {
+	k.Poll(ctx, conn.proc, nil)
+	k.Net.Receive(ctx, conn.sock, uint64(300+rng.Intn(400)))
+	k.StreamRead(ctx, conn.proc, conn.sock, conn.reqBuf, 1024)
+	ctx.Call(s.syms.parseReq)
+	ctx.ReadN(conn.reqBuf, 512)
+	ctx.Read(s.conf[rng.Intn(len(s.conf))])
+	ctx.Read(conn.state)
+	ctx.Write(conn.state)
+	ctx.Ret()
+}
+
+// freePerl finds an idle perl process, or nil if the pool is saturated.
+func (s *webShared) freePerl() *perlProc {
+	for i := 0; i < len(s.perls); i++ {
+		pp := s.perls[(s.rrPerl+i)%len(s.perls)]
+		if !pp.busy {
+			s.rrPerl += i + 1
+			return pp
+		}
+	}
+	return nil
+}
+
+// webWorker is one Apache worker thread handling one connection at a time.
+type webWorker struct {
+	s    *webShared
+	k    *solaris.Kernel
+	rng  *rand.Rand
+	conn *webConn
+
+	awaiting *perlProc
+}
+
+// Step advances the worker's request state machine.
+func (w *webWorker) Step(ctx *engine.Ctx) engine.Step {
+	s, k := w.s, w.k
+	if w.awaiting != nil {
+		// Waiting on FastCGI output from the attached perl process.
+		n := k.StreamRead(ctx, w.conn.proc, w.awaiting.stdout, w.conn.respBuf, 8<<10)
+		if n == 0 {
+			return engine.Step{Outcome: engine.Sleep, SleepTicks: 2}
+		}
+		ctx.Call(s.syms.workConn)
+		ctx.Read(w.conn.state)
+		ctx.Write(w.conn.state)
+		ctx.Ret()
+		k.Net.Send(ctx, w.conn.proc, w.conn.sock, w.conn.respBuf, n)
+		w.awaiting.busy = false
+		w.awaiting = nil
+		w.conn.endRequest()
+		return engine.Step{Outcome: engine.Sleep, SleepTicks: uint64(1 + w.rng.Intn(4))}
+	}
+
+	receiveRequest(ctx, s, k, w.conn, w.rng)
+	pp := s.freePerl()
+	if w.rng.Intn(100) < 30 || pp == nil {
+		// Static request (or FastCGI pool saturated: serve the error page).
+		serveStatic(ctx, s, k, w.conn, w.rng)
+		w.conn.endRequest()
+		return engine.Step{Outcome: engine.Sleep, SleepTicks: uint64(1 + w.rng.Intn(4))}
+	}
+	// Dynamic request: hand off to a perl process over FastCGI stdio.
+	k.StreamWrite(ctx, w.conn.proc, pp.stdin, w.conn.reqBuf, 512)
+	pp.busy = true
+	w.awaiting = pp
+	return engine.Step{Outcome: engine.Sleep, SleepTicks: 2}
+}
+
+// zeusLoop is one Zeus event loop multiplexing several connections.
+type zeusLoop struct {
+	s     *webShared
+	k     *solaris.Kernel
+	rng   *rand.Rand
+	conns []*webConn
+	next  int
+}
+
+// Step polls and serves a batch of connections without blocking per
+// request (fewer threads, fewer scheduler events than Apache).
+func (z *zeusLoop) Step(ctx *engine.Ctx) engine.Step {
+	s, k := z.s, z.k
+	for i := 0; i < 2; i++ {
+		conn := z.conns[z.next%len(z.conns)]
+		z.next++
+		receiveRequest(ctx, s, k, conn, z.rng)
+		pp := s.freePerl()
+		if z.rng.Intn(100) < 30 || pp == nil {
+			serveStatic(ctx, s, k, conn, z.rng)
+			conn.endRequest()
+			continue
+		}
+		// Zeus polls the response on a later loop iteration; the perl
+		// process queues it on stdout and the loop drains it below.
+		k.StreamWrite(ctx, conn.proc, pp.stdin, conn.reqBuf, 512)
+		pp.busy = true
+		pp.pendingFor = conn
+	}
+	// Drain completed FastCGI responses.
+	for _, pp := range s.perls {
+		if pp.pendingFor == nil || pp.stdout.Pending() == 0 {
+			continue
+		}
+		conn := pp.pendingFor.(*webConn)
+		n := k.StreamRead(ctx, conn.proc, pp.stdout, conn.respBuf, 8<<10)
+		if n > 0 {
+			k.Net.Send(ctx, conn.proc, conn.sock, conn.respBuf, n)
+			pp.pendingFor = nil
+			pp.busy = false
+			conn.endRequest()
+		}
+	}
+	if z.rng.Intn(4) == 0 {
+		return engine.Step{Outcome: engine.Sleep, SleepTicks: 1}
+	}
+	return engine.Step{Outcome: engine.Yield}
+}
+
+// perlProc is one FastCGI perl process: it blocks on stdin, parses the
+// request (Perl_sv_gets), interprets its op tree, and writes the generated
+// page to stdout.
+type perlProc struct {
+	s    *webShared
+	k    *solaris.Kernel
+	rng  *rand.Rand
+	proc *solaris.Process
+
+	stdin  *solaris.Stream
+	stdout *solaris.Stream
+
+	inBuf  uint64
+	outBuf uint64
+	state  []uint64 // interpreter globals
+	ops    []uint64 // op tree blocks, fixed shuffled order
+	pads   []uint64 // lexical pad / arena blocks
+
+	busy       bool
+	pendingFor interface{}
+}
+
+func newPerlProc(b *builder, s *webShared, id int) *perlProc {
+	k := b.k
+	pp := &perlProc{
+		s:      s,
+		k:      k,
+		rng:    rand.New(rand.NewSource(b.cfg.Seed + int64(id)*3571)),
+		proc:   k.NewProcess(),
+		stdin:  k.NewStream(2),
+		stdout: k.NewStream(2),
+	}
+	bufs := k.AS.Alloc("perl.iobuf", 16<<10)
+	pp.inBuf = bufs.Base
+	pp.outBuf = bufs.Base + 8<<10
+	for i := 0; i < 4; i++ {
+		pp.state = append(pp.state, k.AllocBlocks(1))
+	}
+	// The op tree: every request walks the same ~100 ops in the same
+	// order; the layout is pointer-linked, not sequential.
+	nops := 96
+	opRegion := k.AS.Alloc("perl.optree", uint64(nops)*memmap.BlockSize)
+	for _, i := range b.rng.Perm(nops) {
+		pp.ops = append(pp.ops, opRegion.Base+uint64(i)*memmap.BlockSize)
+	}
+	padRegion := k.AS.Alloc("perl.pads", 32*memmap.BlockSize)
+	for i := 0; i < 32; i++ {
+		pp.pads = append(pp.pads, padRegion.Base+uint64(i)*memmap.BlockSize)
+	}
+	return pp
+}
+
+// Step serves one FastCGI request if one is queued on stdin.
+func (pp *perlProc) Step(ctx *engine.Ctx) engine.Step {
+	s, k := pp.s, pp.k
+	if pp.stdin.Pending() == 0 {
+		return engine.Step{Outcome: engine.Sleep, SleepTicks: 3}
+	}
+	// Perl_sv_gets: read the request line from stdin into the perl input
+	// buffer, then scan it. The buffer is reused for every request, so
+	// these misses repeat almost perfectly (the paper measures 99%).
+	n := k.StreamRead(ctx, pp.proc, pp.stdin, pp.inBuf, 4096)
+	ctx.Call(s.syms.svGets)
+	ctx.ReadN(pp.inBuf, n)
+	ctx.Read(pp.state[0])
+	ctx.Write(pp.state[0])
+	ctx.Ret()
+
+	// Interpret the script: the op-tree walk is identical per request.
+	for i, op := range pp.ops {
+		fn := s.syms.ppOps[i%len(s.syms.ppOps)]
+		ctx.Call(fn)
+		ctx.Read(op)
+		if i%8 == 0 {
+			ctx.Read(pp.pads[(i/8)%len(pp.pads)])
+		}
+		if i%16 == 0 {
+			ctx.Call(s.syms.svGrow)
+			ctx.Read(pp.pads[i%len(pp.pads)])
+			ctx.Write(pp.pads[i%len(pp.pads)])
+			ctx.Ret()
+		}
+		ctx.AddInstr(8)
+		ctx.Ret()
+	}
+	// Generate the page into the output buffer and write it to stdout.
+	size := uint64(1024 + pp.rng.Intn(1024))
+	ctx.Call(s.syms.ppOps[2]) // Perl_pp_print
+	ctx.WriteN(pp.outBuf, size)
+	ctx.Ret()
+	ctx.Call(s.syms.leave)
+	ctx.Read(pp.state[1])
+	ctx.Write(pp.state[1])
+	ctx.Ret()
+	k.StreamWrite(ctx, pp.proc, pp.stdout, pp.outBuf, size)
+	return engine.Step{Outcome: engine.Sleep, SleepTicks: 1}
+}

@@ -1,0 +1,286 @@
+// Package workload assembles the paper's six application configurations
+// (Table 1) - Apache and Zeus web serving, OLTP (TPC-C on DB2), and DSS
+// TPC-H queries 1, 2, and 17 - over the kernel and database behavioral
+// models, runs them on either machine model, and returns classified miss
+// traces ready for analysis.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/engine"
+	"repro/internal/memmap"
+	"repro/internal/sim"
+	"repro/internal/solaris"
+	"repro/internal/trace"
+)
+
+// App identifies one of the paper's six applications.
+type App int
+
+const (
+	Apache App = iota
+	Zeus
+	OLTP
+	Qry1
+	Qry2
+	Qry17
+	NumApps
+)
+
+var appNames = [NumApps]string{"Apache", "Zeus", "OLTP", "Qry1", "Qry2", "Qry17"}
+
+func (a App) String() string {
+	if a >= 0 && a < NumApps {
+		return appNames[a]
+	}
+	return "invalid app"
+}
+
+// Class returns the application class ("Web", "OLTP", "DSS").
+func (a App) Class() string {
+	switch a {
+	case Apache, Zeus:
+		return "Web"
+	case OLTP:
+		return "OLTP"
+	default:
+		return "DSS"
+	}
+}
+
+// Apps lists all six applications in the paper's presentation order.
+func Apps() []App { return []App{Apache, Zeus, OLTP, Qry1, Qry2, Qry17} }
+
+// MachineKind selects the system organization.
+type MachineKind int
+
+const (
+	// MultiChip is the 16-node DSM (one core per chip, MSI directory).
+	MultiChip MachineKind = iota
+	// SingleChip is the 4-core CMP (shared L2, MOSI).
+	SingleChip
+)
+
+func (m MachineKind) String() string {
+	if m == MultiChip {
+		return "multi-chip"
+	}
+	return "single-chip"
+}
+
+// Scale sets the size of caches and data footprints. Ratios between L1,
+// L2, and application footprints are preserved across scales, so the
+// paper's shape results hold at every scale; Small is the test/bench
+// default, Medium the reporting default.
+type Scale int
+
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// caches returns the cache geometry for a scale.
+func (s Scale) caches() sim.CacheParams {
+	switch s {
+	case Small:
+		// Preserve the paper's 1:128 L1:L2 capacity ratio (64 KB : 8 MB).
+		return sim.CacheParams{L1Bytes: 8 << 10, L1Ways: 2, L2Bytes: 1 << 20, L2Ways: 16}
+	case Medium:
+		return sim.CacheParams{L1Bytes: 16 << 10, L1Ways: 2, L2Bytes: 2 << 20, L2Ways: 16}
+	default:
+		return sim.PaperCaches()
+	}
+}
+
+// factor is the footprint multiplier relative to Small.
+func (s Scale) factor() int {
+	switch s {
+	case Small:
+		return 1
+	case Medium:
+		return 4
+	default:
+		return 32
+	}
+}
+
+// Config selects one experiment run.
+type Config struct {
+	App          App
+	Machine      MachineKind
+	Scale        Scale
+	Seed         int64
+	TargetMisses int // off-chip misses to collect after warmup (0 = default)
+	WarmMisses   int // off-chip misses to discard as warmup (0 = default)
+}
+
+// Result carries the classified traces of one run.
+type Result struct {
+	Config    Config
+	OffChip   *trace.Trace
+	IntraChip *trace.Trace // nil for MultiChip
+	SymTab    *trace.SymbolTable
+	CPUs      int
+	Footprint uint64
+	AS        *memmap.AddressSpace
+	Kernel    *solaris.Kernel
+}
+
+// CPUCount returns the paper's processor count for each machine kind.
+func (m MachineKind) CPUCount() int {
+	if m == MultiChip {
+		return 16
+	}
+	return 4
+}
+
+// builder carries the wiring shared by the app constructors.
+type builder struct {
+	cfg  Config
+	as   *memmap.AddressSpace
+	st   *trace.SymbolTable
+	k    *solaris.Kernel
+	d    *db.Engine
+	rng  *rand.Rand
+	ncpu int
+
+	threads []pendingThread
+	warm    func(ctx *engine.Ctx) // optional pre-run population pass
+}
+
+type pendingThread struct {
+	t    engine.Thread
+	name string
+	cpu  int
+}
+
+func (b *builder) addThread(t engine.Thread, name string, cpu int) {
+	b.threads = append(b.threads, pendingThread{t, name, cpu})
+}
+
+// Run executes one configuration end to end and returns its traces.
+func Run(cfg Config) *Result {
+	if cfg.TargetMisses == 0 {
+		cfg.TargetMisses = 60000
+	}
+	ncpu := cfg.Machine.CPUCount()
+	if cfg.WarmMisses == 0 {
+		// Reaching cache steady state requires at least refilling every
+		// L2 in the system after the construction pass.
+		cp := cfg.Scale.caches()
+		cfg.WarmMisses = ncpu*cp.L2Bytes/64 + cfg.TargetMisses/2
+	}
+
+	as := memmap.New()
+	st := trace.NewSymbolTable(as)
+	kp := solaris.DefaultParams(ncpu)
+	kp.KDataBytes = 4 << 20
+	// The TSB covers only part of the footprint at every scale, so
+	// translation misses walk the page tables at a realistic rate.
+	kp.TSBEntries = 2048 * cfg.Scale.factor()
+	k := solaris.NewKernel(as, st, kp)
+
+	b := &builder{
+		cfg:  cfg,
+		as:   as,
+		st:   st,
+		k:    k,
+		rng:  rand.New(rand.NewSource(cfg.Seed + int64(cfg.App)*1299709 + int64(cfg.Machine)*15485863)),
+		ncpu: ncpu,
+	}
+
+	switch cfg.App {
+	case Apache, Zeus:
+		buildWeb(b)
+	case OLTP:
+		buildOLTP(b)
+	case Qry1, Qry2, Qry17:
+		buildDSS(b)
+	default:
+		panic(fmt.Sprintf("workload: unknown app %v", cfg.App))
+	}
+
+	k.VM.Finalize()
+	var mach sim.Machine
+	if cfg.Machine == MultiChip {
+		mach = sim.NewDSM(ncpu, cfg.Scale.caches(), as.Blocks())
+	} else {
+		mach = sim.NewCMP(ncpu, cfg.Scale.caches(), as.Blocks())
+	}
+
+	eng := engine.New(mach, k.Sched, k.Sync, cfg.Seed^0x5eed)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		k.VM.Install(eng.Ctx(cpu))
+	}
+	for _, pt := range b.threads {
+		tcb := k.CreateThread(eng, pt.t, pt.name, pt.cpu)
+		eng.Start(tcb)
+	}
+	if b.warm != nil {
+		b.warm(eng.Ctx(0))
+		eng.FlushInstr()
+	}
+
+	// Warmup: run the engine for WarmMisses *additional* off-chip misses
+	// beyond the construction pass, so measurement starts from scheduler
+	// and cache steady state (the paper warms for 5000+ transactions).
+	off := mach.OffChip()
+	warmTarget := off.Len() + cfg.WarmMisses
+	eng.Run(func() bool { return off.Len() >= warmTarget })
+	warmOff := off.Len()
+	warmInstr := off.Instructions
+	var warmIntra int
+	if it := mach.IntraChip(); it != nil {
+		warmIntra = it.Len()
+	}
+
+	// Measurement.
+	total := warmOff + cfg.TargetMisses
+	intraCap := warmIntra + 40*cfg.TargetMisses
+	eng.Run(func() bool {
+		if off.Len() >= total {
+			return true
+		}
+		if it := mach.IntraChip(); it != nil && it.Len() >= intraCap {
+			return true
+		}
+		return false
+	})
+
+	res := &Result{
+		Config: cfg,
+		OffChip: &trace.Trace{
+			Misses:       off.Misses[warmOff:],
+			Instructions: off.Instructions - warmInstr,
+			CPUs:         ncpu,
+		},
+		SymTab:    st,
+		CPUs:      ncpu,
+		Footprint: as.Footprint(),
+		AS:        as,
+		Kernel:    k,
+	}
+	if it := mach.IntraChip(); it != nil {
+		res.IntraChip = &trace.Trace{
+			Misses:       it.Misses[warmIntra:],
+			Instructions: it.Instructions - warmInstr,
+			CPUs:         ncpu,
+		}
+	}
+	return res
+}

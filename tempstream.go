@@ -1,0 +1,141 @@
+// Package tempstream reproduces "Temporal Streams in Commercial Server
+// Applications" (Wenisch et al., IISWC 2008): it simulates the paper's six
+// commercial workloads on the two machine organizations, collects
+// classified off-chip and intra-chip read-miss traces, and runs the
+// SEQUITUR-based temporal-stream analyses behind every figure and table in
+// the paper's evaluation.
+//
+// Quick start:
+//
+//	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 30000)
+//	mc := exp.Contexts[tempstream.MultiChipCtx]
+//	fmt.Println(mc.Analysis.StreamFraction()) // fraction of misses in streams
+//
+// The analyses are hardware-independent (Section 3 of the paper): streams
+// are identified by SEQUITUR grammar inference over the miss-address
+// sequence, with no assumptions about any particular prefetcher.
+package tempstream
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported workload identifiers, so that the public API is
+// self-contained.
+const (
+	Apache = workload.Apache
+	Zeus   = workload.Zeus
+	OLTP   = workload.OLTP
+	Qry1   = workload.Qry1
+	Qry2   = workload.Qry2
+	Qry17  = workload.Qry17
+)
+
+// Scales.
+const (
+	Small  = workload.Small
+	Medium = workload.Medium
+	Large  = workload.Large
+)
+
+// App identifies one of the six applications (Table 1).
+type App = workload.App
+
+// Scale selects cache/footprint sizing (ratios follow the paper).
+type Scale = workload.Scale
+
+// Apps returns the applications in the paper's presentation order.
+func Apps() []App { return workload.Apps() }
+
+// Context is one of the paper's three analysis contexts (Section 3,
+// "System contexts").
+type Context int
+
+const (
+	// MultiChipCtx: off-chip misses of the 16-node DSM.
+	MultiChipCtx Context = iota
+	// SingleChipCtx: off-chip misses of the 4-core CMP.
+	SingleChipCtx
+	// IntraChipCtx: L1 misses of the CMP satisfied on chip.
+	IntraChipCtx
+)
+
+var contextNames = [...]string{"multi-chip", "single-chip", "intra-chip"}
+
+func (c Context) String() string {
+	if c >= 0 && int(c) < len(contextNames) {
+		return contextNames[c]
+	}
+	return "invalid context"
+}
+
+// Contexts returns all three contexts in the paper's presentation order.
+func Contexts() []Context { return []Context{MultiChipCtx, SingleChipCtx, IntraChipCtx} }
+
+// ContextResult is one context's classified trace plus its stream
+// analysis.
+type ContextResult struct {
+	Trace    *trace.Trace
+	Analysis *core.Analysis
+	SymTab   *trace.SymbolTable
+}
+
+// Experiment bundles the three context analyses of one application.
+type Experiment struct {
+	App   App
+	Scale Scale
+	// Contexts holds the per-context results.
+	Contexts map[Context]*ContextResult
+	// MultiChip and SingleChip expose the raw run results (MPKI,
+	// footprints, kernel statistics).
+	MultiChip  *workload.Result
+	SingleChip *workload.Result
+}
+
+// Collect runs app on both machine models at the given scale and analyzes
+// all three contexts. target is the number of off-chip misses to collect
+// per machine (0 = default 60000); analysis truncation and warmup follow
+// the package defaults.
+func Collect(app App, scale Scale, seed int64, target int) *Experiment {
+	mc := workload.Run(workload.Config{
+		App: app, Machine: workload.MultiChip, Scale: scale,
+		Seed: seed, TargetMisses: target,
+	})
+	sc := workload.Run(workload.Config{
+		App: app, Machine: workload.SingleChip, Scale: scale,
+		Seed: seed, TargetMisses: target,
+	})
+	exp := &Experiment{
+		App: app, Scale: scale,
+		Contexts:   make(map[Context]*ContextResult, 3),
+		MultiChip:  mc,
+		SingleChip: sc,
+	}
+	exp.Contexts[MultiChipCtx] = &ContextResult{
+		Trace:    mc.OffChip,
+		Analysis: core.Analyze(mc.OffChip, core.Options{}),
+		SymTab:   mc.SymTab,
+	}
+	exp.Contexts[SingleChipCtx] = &ContextResult{
+		Trace:    sc.OffChip,
+		Analysis: core.Analyze(sc.OffChip, core.Options{}),
+		SymTab:   sc.SymTab,
+	}
+	exp.Contexts[IntraChipCtx] = &ContextResult{
+		Trace:    sc.IntraChip,
+		Analysis: core.Analyze(sc.IntraChip, core.Options{}),
+		SymTab:   sc.SymTab,
+	}
+	return exp
+}
+
+// CollectAll runs every application.
+func CollectAll(scale Scale, seed int64, target int) []*Experiment {
+	var out []*Experiment
+	for _, app := range Apps() {
+		out = append(out, Collect(app, scale, seed, target))
+	}
+	return out
+}
