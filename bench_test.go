@@ -18,6 +18,7 @@ package tempstream
 // sharing) and raw component throughput benchmarks.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -26,6 +27,16 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// skipInShort keeps `-short -bench` smoke runs (CI) within time limits by
+// skipping the benchmarks that re-run whole simulations per iteration.
+// The figure/table benchmarks stay: they share the experiment cache.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping simulation-heavy benchmark in short mode")
+	}
+}
 
 // benchCollect reuses the test-side experiment cache so that a full
 // `go test -bench=. ./...` does each simulation once.
@@ -173,6 +184,7 @@ func BenchmarkTable5DSSOrigins(b *testing.B) {
 // traffic - the capacity/communication balance that drives every
 // organization contrast in the paper.
 func BenchmarkAblationL2Size(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, scale := range []Scale{Small, Medium} {
 			res := workload.Run(workload.Config{
@@ -207,8 +219,7 @@ func BenchmarkAblationFixedDepth(b *testing.B) {
 				}
 				covered += float64(l)
 			}
-			b.ReportMetric(100*covered/total, "covered_%_depth")
-			_ = depth
+			b.ReportMetric(100*covered/total, fmt.Sprintf("covered_%%_d%d", depth))
 		}
 	}
 }
@@ -249,6 +260,8 @@ func BenchmarkPrefetcherSharedVsPerCPU(b *testing.B) {
 // BenchmarkSimulationThroughput measures raw trace-generation speed
 // (misses simulated per second) for one OLTP multi-chip configuration.
 func BenchmarkSimulationThroughput(b *testing.B) {
+	skipInShort(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := workload.Run(workload.Config{
 			App: workload.OLTP, Machine: workload.MultiChip, Scale: workload.Small,
@@ -261,10 +274,12 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 }
 
 // BenchmarkSequiturThroughput measures SEQUITUR grammar construction over
-// a recorded miss trace (symbols appended per second).
+// a recorded miss trace (symbols appended per second), building a fresh
+// grammar per iteration.
 func BenchmarkSequiturThroughput(b *testing.B) {
 	exp := benchCollect(b, OLTP)
 	misses := exp.Contexts[MultiChipCtx].Trace.Misses
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := sequitur.New()
@@ -275,16 +290,53 @@ func BenchmarkSequiturThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(misses)), "symbols")
 }
 
+// BenchmarkSequiturReuse is the steady-state variant: one grammar is Reset
+// and rebuilt each iteration, so after the first iteration the append path
+// runs allocation-free out of the retained slab and index storage.
+func BenchmarkSequiturReuse(b *testing.B) {
+	exp := benchCollect(b, OLTP)
+	misses := exp.Contexts[MultiChipCtx].Trace.Misses
+	g := sequitur.New()
+	for j := range misses {
+		g.Append(misses[j].Addr) // pre-grow storage
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		for j := range misses {
+			g.Append(misses[j].Addr)
+		}
+	}
+	b.ReportMetric(float64(len(misses)), "symbols")
+}
+
 // BenchmarkAnalysisThroughput measures the full stream analysis over a
-// recorded trace.
+// recorded trace, reusing one Analyzer as the pipeline does.
 func BenchmarkAnalysisThroughput(b *testing.B) {
 	exp := benchCollect(b, OLTP)
 	tr := exp.Contexts[MultiChipCtx].Trace
+	an := core.NewAnalyzer()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a := core.Analyze(tr, core.Options{})
+		a := an.Analyze(tr, core.Options{})
 		if a.StreamFraction() <= 0 {
 			b.Fatal("analysis produced nothing")
+		}
+	}
+}
+
+// BenchmarkCollectAll measures the wall clock of the full concurrent
+// experiment pipeline (6 apps x 2 simulations x 3 analyses) at a reduced
+// miss target.
+func BenchmarkCollectAll(b *testing.B) {
+	skipInShort(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		exps := CollectAll(Small, 7, 10000)
+		if len(exps) != len(Apps()) {
+			b.Fatal("missing experiments")
 		}
 	}
 }

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	tsreport [-scale small|medium|large] [-seed N] [-target N]
+//	tsreport [-scale small|medium|large] [-seed N] [-target N] [-j N]
 //	         [-only fig1,fig2,fig3,fig4,table3,table4,table5]
+//
+// Simulations and analyses for all applications run concurrently on a
+// bounded worker pool (-j, default GOMAXPROCS); output is deterministic
+// for a given seed regardless of -j.
 package main
 
 import (
@@ -26,7 +30,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 	target := flag.Int("target", 60000, "off-chip misses to trace per machine")
 	only := flag.String("only", "", "comma-separated artifacts to print (fig1,fig2,fig3,fig4,table3,table4,table5,hot); empty = all")
+	jobs := flag.Int("j", 0, "max concurrent simulations/analyses (0 = GOMAXPROCS)")
 	flag.Parse()
+	tempstream.SetWorkers(*jobs)
 
 	var scale workload.Scale
 	switch *scaleFlag {
@@ -49,16 +55,16 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	fmt.Printf("tsreport: scale=%s seed=%d target=%d misses per machine\n", scale, *seed, *target)
+	fmt.Printf("tsreport: scale=%s seed=%d target=%d misses per machine, %d workers\n",
+		scale, *seed, *target, tempstream.Workers())
 	start := time.Now()
+	exps := tempstream.CollectAll(scale, *seed, *target)
 	var apps []report.AppData
 	webApps, oltpApps, dssApps := []report.AppData{}, []report.AppData{}, []report.AppData{}
-	for _, app := range tempstream.Apps() {
-		t0 := time.Now()
-		exp := tempstream.Collect(app, scale, *seed, *target)
+	for _, exp := range exps {
 		ad := appData(exp)
 		apps = append(apps, ad)
-		switch app.Class() {
+		switch exp.App.Class() {
 		case "Web":
 			webApps = append(webApps, ad)
 		case "OLTP":
@@ -66,9 +72,8 @@ func main() {
 		default:
 			dssApps = append(dssApps, ad)
 		}
-		fmt.Printf("  simulated %-7s (footprint %3d MB multi / %3d MB single) in %v\n",
-			app, exp.MultiChip.Footprint>>20, exp.SingleChip.Footprint>>20,
-			time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("  simulated %-7s (footprint %3d MB multi / %3d MB single)\n",
+			exp.App, exp.MultiChip.Footprint>>20, exp.SingleChip.Footprint>>20)
 	}
 	fmt.Printf("all simulations done in %v\n\n", time.Since(start).Round(time.Millisecond))
 

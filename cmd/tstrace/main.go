@@ -7,21 +7,27 @@
 // Usage:
 //
 //	tstrace -app oltp -machine multi [-scale small] [-n 1000] [-intra]
+//
+// -machine both simulates the multi-chip and single-chip organizations
+// concurrently and dumps both traces, multi-chip first.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/par"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	appFlag := flag.String("app", "oltp", "workload: apache, zeus, oltp, qry1, qry2, qry17")
-	machineFlag := flag.String("machine", "multi", "machine model: multi or single")
+	machineFlag := flag.String("machine", "multi", "machine model: multi, single, or both")
 	scaleFlag := flag.String("scale", "small", "scale: small, medium, large")
 	n := flag.Int("n", 1000, "misses to print (0 = all)")
 	target := flag.Int("target", 20000, "misses to simulate")
@@ -37,35 +43,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tstrace: unknown app %q\n", *appFlag)
 		os.Exit(2)
 	}
-	machine := workload.MultiChip
-	if strings.HasPrefix(strings.ToLower(*machineFlag), "s") {
-		machine = workload.SingleChip
+	var machines []workload.MachineKind
+	switch m := strings.ToLower(*machineFlag); {
+	case strings.HasPrefix(m, "b"):
+		machines = []workload.MachineKind{workload.MultiChip, workload.SingleChip}
+	case strings.HasPrefix(m, "s"):
+		machines = []workload.MachineKind{workload.SingleChip}
+	default:
+		machines = []workload.MachineKind{workload.MultiChip}
+	}
+	if *intra && (len(machines) != 1 || machines[0] != workload.SingleChip) {
+		fmt.Fprintln(os.Stderr, "tstrace: -intra requires -machine single (multi-chip runs have no intra-chip trace)")
+		os.Exit(2)
 	}
 	scale := map[string]workload.Scale{
 		"small": workload.Small, "medium": workload.Medium, "large": workload.Large,
 	}[strings.ToLower(*scaleFlag)]
 
-	res := workload.Run(workload.Config{
-		App: app, Machine: machine, Scale: scale, Seed: *seed, TargetMisses: *target,
-	})
-	tr := res.OffChip
-	if *intra {
-		if res.IntraChip == nil {
-			fmt.Fprintln(os.Stderr, "tstrace: multi-chip runs have no intra-chip trace")
-			os.Exit(2)
-		}
-		tr = res.IntraChip
+	// Simulate all requested machines concurrently, then dump in order.
+	results := make([]*workload.Result, len(machines))
+	var g par.Group
+	for i, machine := range machines {
+		g.Go(func() {
+			results[i] = workload.Run(workload.Config{
+				App: app, Machine: machine, Scale: scale, Seed: *seed, TargetMisses: *target,
+			})
+		})
 	}
+	g.Wait()
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+	for i, res := range results {
+		tr := res.OffChip
+		if *intra {
+			tr = res.IntraChip // guaranteed non-nil: -intra implies single-chip
+		}
+		dump(w, app, machines[i], scale, res, tr, *n)
+	}
+}
+
+func dump(w io.Writer, app workload.App, machine workload.MachineKind, scale workload.Scale,
+	res *workload.Result, tr *trace.Trace, n int) {
 	fmt.Fprintf(w, "# app=%v machine=%v scale=%v misses=%d instructions=%d mpki=%.3f\n",
 		app, machine, scale, tr.Len(), tr.Instructions, tr.MPKI())
 	fmt.Fprintf(w, "# %-8s %-4s %-14s %-14s %-8s %-24s %s\n",
 		"pos", "cpu", "block", "class", "supply", "function", "category")
 	limit := tr.Len()
-	if *n > 0 && *n < limit {
-		limit = *n
+	if n > 0 && n < limit {
+		limit = n
 	}
 	for i := 0; i < limit; i++ {
 		m := tr.Misses[i]

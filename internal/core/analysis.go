@@ -6,7 +6,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/sequitur"
 	"repro/internal/stats"
@@ -96,8 +96,41 @@ type Analysis struct {
 	grammarRules int
 }
 
-// Analyze runs the complete stream analysis over tr.
+// Analyzer runs stream analyses while reusing all heavy intermediate
+// storage across calls: the SEQUITUR grammar's node slab and digram index,
+// the derivation walker's stacks, and the rule- and CPU-indexed scratch of
+// the reuse-distance pass. One Analyzer amortizes allocation to near zero
+// when analyzing many traces; it is not safe for concurrent use (give each
+// goroutine its own, e.g. via a sync.Pool).
+type Analyzer struct {
+	g *sequitur.Grammar
+
+	// Walker scratch.
+	topOcc   []int32
+	recStack []bool
+
+	// Reuse-distance scratch: per-CPU miss positions built in one counting
+	// pass, and the last top-level instance index per rule id.
+	cpuCursor []int32
+	cpuOff    []int32
+	cpuPos    []int32
+	lastIdx   []int32
+}
+
+// NewAnalyzer returns an Analyzer with empty (lazily grown) storage.
+func NewAnalyzer() *Analyzer { return &Analyzer{g: sequitur.New()} }
+
+// Analyze runs the complete stream analysis over tr. The convenience
+// wrapper for one-shot use; loops over many traces should reuse an
+// Analyzer.
 func Analyze(tr *trace.Trace, opts Options) *Analysis {
+	return NewAnalyzer().Analyze(tr, opts)
+}
+
+// Analyze runs the complete stream analysis over tr, reusing the
+// Analyzer's internal storage. The returned Analysis owns all of its
+// fields and stays valid across later Analyze calls.
+func (an *Analyzer) Analyze(tr *trace.Trace, opts Options) *Analysis {
 	opts = opts.withDefaults()
 	misses := tr.Misses
 	if len(misses) > opts.MaxMisses {
@@ -121,8 +154,10 @@ func Analyze(tr *trace.Trace, opts Options) *Analysis {
 		a.Strided[i] = det.Observe(int(misses[i].CPU), misses[i].Addr)
 	}
 
-	// SEQUITUR over the block-address sequence.
-	g := sequitur.New()
+	// SEQUITUR over the block-address sequence, reusing the grammar's
+	// storage from the previous trace.
+	g := an.g
+	g.Reset()
 	for i := range misses {
 		g.Append(misses[i].Addr)
 	}
@@ -130,15 +165,29 @@ func Analyze(tr *trace.Trace, opts Options) *Analysis {
 
 	// Walk the derivation: mark per-miss stream state and collect
 	// top-level instances.
-	topOcc := make(map[int]int)
-	v := &walker{a: a, topOcc: topOcc}
+	an.topOcc = resetInt32(an.topOcc, g.RuleIDBound(), 0)
+	v := &walker{a: a, topOcc: an.topOcc, recStack: an.recStack[:0]}
 	g.Walk(v)
+	an.recStack = v.recStack[:0] // keep any capacity the walk grew
 
 	// Reuse distances between consecutive top-level occurrences of the
 	// same rule: count intervening misses on the processor that observed
 	// the first occurrence (Section 4.5).
-	a.computeReuseDistances(opts)
+	a.computeReuseDistances(opts, an, g.RuleIDBound())
 	return a
+}
+
+// resetInt32 returns a slice of length n filled with fill, reusing buf's
+// storage when it is large enough.
+func resetInt32(buf []int32, n int, fill int32) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = fill
+	}
+	return buf
 }
 
 // walker implements sequitur.DerivationVisitor: a miss is Recurring if any
@@ -147,7 +196,7 @@ func Analyze(tr *trace.Trace, opts Options) *Analysis {
 // hangs directly off the root.
 type walker struct {
 	a        *Analysis
-	topOcc   map[int]int
+	topOcc   []int32 // top-level occurrences so far, indexed by rule id
 	recStack []bool
 	recDepth int
 }
@@ -157,7 +206,7 @@ func (w *walker) EnterRule(ruleID, occurrence, pos, length, depth int) {
 		w.topOcc[ruleID]++
 		w.a.Instances = append(w.a.Instances, Instance{
 			RuleID:     ruleID,
-			Occurrence: w.topOcc[ruleID],
+			Occurrence: int(w.topOcc[ruleID]),
 			Pos:        pos,
 			Len:        length,
 		})
@@ -189,32 +238,53 @@ func (w *walker) ExitRule(ruleID, pos, length, depth int) {
 	w.recStack = w.recStack[:n]
 }
 
-// computeReuseDistances fills ReuseDist.
-func (a *Analysis) computeReuseDistances(opts Options) {
-	// Positions of misses per CPU for interval counting.
-	perCPU := make([][]int, a.CPUs)
+// computeReuseDistances fills ReuseDist. Per-CPU miss positions are built
+// in one counting pass into a flat rule- and CPU-indexed scratch area owned
+// by the Analyzer, replacing the per-miss slice appends and per-rule map
+// operations of the naive formulation.
+func (a *Analysis) computeReuseDistances(opts Options, an *Analyzer, ruleBound int) {
+	// Counting pass: cpuPos[cpuOff[c]:cpuOff[c+1]] lists the trace
+	// positions of CPU c's misses in ascending order.
+	an.cpuCursor = resetInt32(an.cpuCursor, a.CPUs, 0)
 	for i := range a.Misses {
-		c := int(a.Misses[i].CPU)
-		perCPU[c] = append(perCPU[c], i)
+		an.cpuCursor[a.Misses[i].CPU]++
+	}
+	an.cpuOff = resetInt32(an.cpuOff, a.CPUs+1, 0)
+	off := int32(0)
+	for c := 0; c < a.CPUs; c++ {
+		an.cpuOff[c] = off
+		off += an.cpuCursor[c]
+		an.cpuCursor[c] = an.cpuOff[c] // becomes the write cursor
+	}
+	an.cpuOff[a.CPUs] = off
+	if cap(an.cpuPos) < len(a.Misses) {
+		an.cpuPos = make([]int32, len(a.Misses))
+	}
+	an.cpuPos = an.cpuPos[:len(a.Misses)]
+	for i := range a.Misses {
+		c := a.Misses[i].CPU
+		an.cpuPos[an.cpuCursor[c]] = int32(i)
+		an.cpuCursor[c]++
 	}
 	countBetween := func(cpu, lo, hi int) uint64 {
 		// misses by cpu in positions [lo, hi)
-		list := perCPU[cpu]
-		l := sort.SearchInts(list, lo)
-		r := sort.SearchInts(list, hi)
+		list := an.cpuPos[an.cpuOff[cpu]:an.cpuOff[cpu+1]]
+		l, _ := slices.BinarySearch(list, int32(lo))
+		r, _ := slices.BinarySearch(list, int32(hi))
 		return uint64(r - l)
 	}
-	last := make(map[int]Instance)
-	for _, inst := range a.Instances {
-		prev, seen := last[inst.RuleID]
-		if seen {
+	an.lastIdx = resetInt32(an.lastIdx, ruleBound, -1)
+	for i := range a.Instances {
+		inst := &a.Instances[i]
+		if j := an.lastIdx[inst.RuleID]; j >= 0 {
+			prev := &a.Instances[j]
 			firstCPU := int(a.Misses[prev.Pos].CPU)
 			d := countBetween(firstCPU, prev.Pos+prev.Len, inst.Pos)
 			if d <= opts.ReuseTruncate {
 				a.ReuseDist.Add(float64(d), float64(inst.Len))
 			}
 		}
-		last[inst.RuleID] = inst
+		an.lastIdx[inst.RuleID] = int32(i)
 	}
 }
 

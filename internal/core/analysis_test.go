@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/memmap"
@@ -186,6 +187,46 @@ func TestMaxMissesTruncation(t *testing.T) {
 	a := Analyze(mkTrace(blocks...), Options{MaxMisses: 100})
 	if len(a.Misses) != 100 || len(a.State) != 100 {
 		t.Errorf("truncation failed: %d misses", len(a.Misses))
+	}
+}
+
+// TestAnalyzerReuseMatchesFresh checks that one Analyzer reused across
+// different traces produces exactly the analyses a fresh Analyze yields:
+// no state may leak between runs through the recycled grammar or scratch.
+func TestAnalyzerReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	traces := []*trace.Trace{
+		mkTrace(1, 2, 3, 4, 1, 2, 3, 4),
+		mkTrace(), // empty between real traces
+	}
+	var noisy, loopy []uint64
+	for i := 0; i < 3000; i++ {
+		noisy = append(noisy, uint64(rng.Intn(500)))
+		loopy = append(loopy, uint64(i%29))
+	}
+	traces = append(traces, mkTrace(noisy...), mkTrace(loopy...), mkTrace(noisy...))
+	// A multi-CPU trace exercises the per-CPU reuse-distance scratch.
+	multi := &trace.Trace{CPUs: 4}
+	for i := 0; i < 2000; i++ {
+		multi.Append(trace.Miss{Addr: uint64(i%37) << 6, CPU: uint8(i % 4)})
+	}
+	traces = append(traces, multi)
+
+	an := NewAnalyzer()
+	for i, tr := range traces {
+		got := an.Analyze(tr, Options{})
+		want := Analyze(tr, Options{})
+		if !reflect.DeepEqual(got.State, want.State) ||
+			!reflect.DeepEqual(got.Instances, want.Instances) ||
+			!reflect.DeepEqual(got.Strided, want.Strided) {
+			t.Fatalf("trace %d: reused Analyzer diverged from fresh analysis", i)
+		}
+		if !reflect.DeepEqual(got.ReuseDist.Buckets(), want.ReuseDist.Buckets()) {
+			t.Fatalf("trace %d: reuse-distance histograms differ", i)
+		}
+		if got.GrammarRules() != want.GrammarRules() {
+			t.Fatalf("trace %d: grammar rules %d vs %d", i, got.GrammarRules(), want.GrammarRules())
+		}
 	}
 }
 

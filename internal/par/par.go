@@ -1,0 +1,70 @@
+// Package par provides the process-wide bounded worker pool that the
+// experiment pipeline uses to run simulations and analyses concurrently.
+//
+// All heavy leaf tasks across the process share one semaphore, so nested
+// fan-out (CollectAll over apps, each Collect over machines and contexts)
+// cannot oversubscribe the CPUs: orchestrating goroutines are cheap and
+// unbounded, while at most Workers() leaf tasks execute simultaneously.
+// Tasks must be independent — a task must never block waiting for another
+// task's result while holding its worker slot.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu  sync.Mutex
+	sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+)
+
+// SetWorkers bounds the number of concurrently executing tasks. n < 1
+// restores the default of GOMAXPROCS. The bound is snapshotted per Go
+// call: tasks scheduled before SetWorkers finish under the previous
+// semaphore, so during the changeover the old and new bounds can briefly
+// overlap. Call it before scheduling work (as the CLIs do at startup).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	mu.Lock()
+	sem = make(chan struct{}, n)
+	mu.Unlock()
+}
+
+// Workers returns the current bound.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return cap(sem)
+}
+
+func current() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	return sem
+}
+
+// Group runs tasks on the shared pool and waits for them. The zero value is
+// ready to use. Group does not propagate panics across goroutines; tasks
+// are expected not to fail (they report through their own results).
+type Group struct {
+	wg sync.WaitGroup
+}
+
+// Go schedules fn. The goroutine starts immediately but fn only runs once
+// a worker slot is free.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	s := current()
+	go func() {
+		defer g.wg.Done()
+		s <- struct{}{}
+		defer func() { <-s }()
+		fn()
+	}()
+}
+
+// Wait blocks until every task scheduled through Go has finished.
+func (g *Group) Wait() { g.wg.Wait() }

@@ -1,0 +1,74 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupRunsAll(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestWorkerBoundRespected(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(0)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", Workers())
+	}
+	var g Group
+	var inFlight, peak atomic.Int64
+	for i := 0; i < 50; i++ {
+		g.Go(func() {
+			c := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		})
+	}
+	g.Wait()
+	if peak.Load() > 2 {
+		t.Fatalf("observed %d concurrent tasks, bound is 2", peak.Load())
+	}
+}
+
+func TestSetWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func TestNestedGroupsDoNotDeadlock(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	// An orchestrating goroutine (plain go + Wait) fans leaf tasks into the
+	// shared pool; only leaves hold slots, so a width-1 pool must not
+	// deadlock.
+	var outer Group
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			outer.Go(func() {})
+		}
+		outer.Wait()
+	}()
+	var inner Group
+	for i := 0; i < 3; i++ {
+		inner.Go(func() {})
+	}
+	inner.Wait()
+	<-done
+}

@@ -1,53 +1,78 @@
 package sequitur
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// RuleLengths returns the expansion length (in terminals) of every live
-// rule, keyed by rule id. The root's length equals the input length.
-func (g *Grammar) RuleLengths() map[int]int {
-	memo := make(map[int]int, len(g.rules))
-	var lengthOf func(r *Rule) int
-	lengthOf = func(r *Rule) int {
-		if l, ok := memo[r.id]; ok {
+// ruleLengths fills g.lenBuf with the expansion length (in terminals) of
+// every rule id (dead rules get 0) and returns it. The buffer is reused
+// across calls.
+func (g *Grammar) ruleLengths() []int32 {
+	n := len(g.rules)
+	if cap(g.lenBuf) < n {
+		g.lenBuf = make([]int32, n)
+	}
+	g.lenBuf = g.lenBuf[:n]
+	for i := range g.lenBuf {
+		g.lenBuf[i] = 0 // 0 = unknown or dead
+	}
+	var lengthOf func(r int32) int32
+	lengthOf = func(r int32) int32 {
+		if l := g.lenBuf[r]; l != 0 {
+			if l < 0 {
+				panic("sequitur: cyclic grammar")
+			}
 			return l
 		}
 		// Mark in-progress to catch (impossible) cycles deterministically.
-		memo[r.id] = -1
-		total := 0
-		for n := r.first(); !n.isGuard(); n = n.next {
-			if n.rule != nil {
-				l := lengthOf(n.rule)
-				if l < 0 {
-					panic("sequitur: cyclic grammar")
-				}
-				total += l
+		g.lenBuf[r] = -1
+		total := int32(0)
+		for n := g.first(r); !g.isGuard(n); n = g.nodes[n].next {
+			if g.nodes[n].sym&kindMask == kindRule {
+				total += lengthOf(g.ruleOf(n))
 			} else {
 				total++
 			}
 		}
-		memo[r.id] = total
+		g.lenBuf[r] = total
 		return total
 	}
-	for _, r := range g.rules {
-		lengthOf(r)
+	for id := range g.rules {
+		if g.rules[id].guard >= 0 {
+			lengthOf(int32(id))
+		}
 	}
-	return memo
+	return g.lenBuf
+}
+
+// RuleLengths returns the expansion length (in terminals) of every live
+// rule, keyed by rule id. The root's length equals the input length.
+func (g *Grammar) RuleLengths() map[int]int {
+	lengths := g.ruleLengths()
+	out := make(map[int]int, g.live)
+	for id := range g.rules {
+		if g.rules[id].guard >= 0 {
+			out[id] = int(lengths[id])
+		}
+	}
+	return out
 }
 
 // Expansion reconstructs the original input from the grammar.
 func (g *Grammar) Expansion() []uint64 {
 	out := make([]uint64, 0, g.length)
-	var expand func(r *Rule)
-	expand = func(r *Rule) {
-		for n := r.first(); !n.isGuard(); n = n.next {
-			if n.rule != nil {
-				expand(n.rule)
+	var expand func(r int32)
+	expand = func(r int32) {
+		for n := g.first(r); !g.isGuard(n); n = g.nodes[n].next {
+			if g.nodes[n].sym&kindMask == kindRule {
+				expand(g.ruleOf(n))
 			} else {
-				out = append(out, n.term)
+				out = append(out, g.terms[g.nodes[n].sym>>kindBits])
 			}
 		}
 	}
-	expand(g.root)
+	expand(0)
 	return out
 }
 
@@ -68,29 +93,38 @@ type DerivationVisitor interface {
 
 // Walk traverses the full derivation of the input. The parse tree has at
 // most one internal node per input symbol, so the walk is O(input length).
+// Walk's internal state (rule lengths, occurrence counters) lives in
+// grammar-owned buffers reused across calls.
 func (g *Grammar) Walk(v DerivationVisitor) {
-	lengths := g.RuleLengths()
-	occ := make(map[int]int, len(g.rules))
+	lengths := g.ruleLengths()
+	if cap(g.occBuf) < len(g.rules) {
+		g.occBuf = make([]int32, len(g.rules))
+	}
+	g.occBuf = g.occBuf[:len(g.rules)]
+	for i := range g.occBuf {
+		g.occBuf[i] = 0
+	}
 	pos := 0
-	var walk func(r *Rule, depth int)
-	walk = func(r *Rule, depth int) {
-		for n := r.first(); !n.isGuard(); n = n.next {
-			if n.rule != nil {
-				occ[n.rule.id]++
-				l := lengths[n.rule.id]
-				v.EnterRule(n.rule.id, occ[n.rule.id], pos, l, depth+1)
-				walk(n.rule, depth+1)
-				v.ExitRule(n.rule.id, pos, l, depth+1)
+	var walk func(r int32, depth int)
+	walk = func(r int32, depth int) {
+		for n := g.first(r); !g.isGuard(n); n = g.nodes[n].next {
+			if g.nodes[n].sym&kindMask == kindRule {
+				id := g.ruleOf(n)
+				g.occBuf[id]++
+				l := int(lengths[id])
+				v.EnterRule(int(id), int(g.occBuf[id]), pos, l, depth+1)
+				walk(id, depth+1)
+				v.ExitRule(int(id), pos, l, depth+1)
 			} else {
-				v.Terminal(pos, n.term, depth)
+				v.Terminal(pos, g.terms[g.nodes[n].sym>>kindBits], depth)
 				pos++
 			}
 		}
 	}
-	walk(g.root, 0)
+	walk(0, 0)
 }
 
-// bodyRef is one element of a rule body in a BodyOf result.
+// BodyRef is one element of a rule body in a BodyOf result.
 type BodyRef struct {
 	IsRule bool
 	RuleID int
@@ -99,115 +133,147 @@ type BodyRef struct {
 
 // BodyOf returns the body of rule id, or nil if the rule is not live.
 func (g *Grammar) BodyOf(id int) []BodyRef {
-	r, ok := g.rules[id]
-	if !ok {
+	if id < 0 || id >= len(g.rules) || g.rules[id].guard < 0 {
 		return nil
 	}
 	var out []BodyRef
-	for n := r.first(); !n.isGuard(); n = n.next {
-		if n.rule != nil {
-			out = append(out, BodyRef{IsRule: true, RuleID: n.rule.id})
+	for n := g.first(int32(id)); !g.isGuard(n); n = g.nodes[n].next {
+		if g.nodes[n].sym&kindMask == kindRule {
+			out = append(out, BodyRef{IsRule: true, RuleID: int(g.ruleOf(n))})
 		} else {
-			out = append(out, BodyRef{Term: n.term})
+			out = append(out, BodyRef{Term: g.terms[g.nodes[n].sym>>kindBits]})
 		}
 	}
 	return out
 }
 
-// RuleIDs returns the ids of all live rules (the root included).
+// RuleIDs returns the ids of all live rules (the root included) in
+// ascending order.
 func (g *Grammar) RuleIDs() []int {
-	ids := make([]int, 0, len(g.rules))
+	ids := make([]int, 0, g.live)
 	for id := range g.rules {
-		ids = append(ids, id)
+		if g.rules[id].guard >= 0 {
+			ids = append(ids, id)
+		}
 	}
 	return ids
 }
 
 // String renders the grammar for debugging, one rule per line.
 func (g *Grammar) String() string {
-	s := ""
-	for id := 0; id < g.nextID; id++ {
-		r, ok := g.rules[id]
-		if !ok {
+	var b strings.Builder
+	for id := range g.rules {
+		if g.rules[id].guard < 0 {
 			continue
 		}
-		s += fmt.Sprintf("R%d ->", id)
-		for n := r.first(); !n.isGuard(); n = n.next {
-			if n.rule != nil {
-				s += fmt.Sprintf(" R%d", n.rule.id)
+		fmt.Fprintf(&b, "R%d ->", id)
+		for n := g.first(int32(id)); !g.isGuard(n); n = g.nodes[n].next {
+			if g.nodes[n].sym&kindMask == kindRule {
+				fmt.Fprintf(&b, " R%d", g.ruleOf(n))
 			} else {
-				s += fmt.Sprintf(" %d", n.term)
+				fmt.Fprintf(&b, " %d", g.terms[g.nodes[n].sym>>kindBits])
 			}
 		}
-		s += "\n"
+		b.WriteByte('\n')
 	}
-	return s
+	return b.String()
 }
 
 // CheckInvariants verifies the grammar's structural invariants and the
 // digram index's consistency. It returns a descriptive error when a check
 // fails; tests and the fuzzing harness call it after every build.
 func (g *Grammar) CheckInvariants() error {
+	liveCount := 0
+	for id := range g.rules {
+		if g.rules[id].guard >= 0 {
+			liveCount++
+		}
+	}
+	if liveCount != g.live {
+		return fmt.Errorf("live rule count mismatch: recorded %d, actual %d", g.live, liveCount)
+	}
 	// Rule utility: every non-root rule is referenced at least twice, and
 	// the recorded use counts match reality.
-	refCounts := make(map[int]int, len(g.rules))
-	for _, r := range g.rules {
-		for n := r.first(); !n.isGuard(); n = n.next {
-			if n.rule != nil {
-				refCounts[n.rule.id]++
-				if _, live := g.rules[n.rule.id]; !live {
-					return fmt.Errorf("rule R%d references dead rule R%d", r.id, n.rule.id)
+	refCounts := make([]int32, len(g.rules))
+	for id := range g.rules {
+		if g.rules[id].guard < 0 {
+			continue
+		}
+		for n := g.first(int32(id)); !g.isGuard(n); n = g.nodes[n].next {
+			if g.nodes[n].sym&kindMask == kindRule {
+				rid := g.ruleOf(n)
+				refCounts[rid]++
+				if g.rules[rid].guard < 0 {
+					return fmt.Errorf("rule R%d references dead rule R%d", id, rid)
 				}
 			}
 		}
 	}
-	for _, r := range g.rules {
-		if r.id == g.root.id {
+	for id := range g.rules {
+		if g.rules[id].guard < 0 || id == 0 {
 			continue
 		}
-		if refCounts[r.id] < 2 {
-			return fmt.Errorf("rule utility violated: R%d used %d time(s)", r.id, refCounts[r.id])
+		if refCounts[id] < 2 {
+			return fmt.Errorf("rule utility violated: R%d used %d time(s)", id, refCounts[id])
 		}
-		if refCounts[r.id] != r.uses {
-			return fmt.Errorf("use count mismatch for R%d: recorded %d, actual %d", r.id, r.uses, refCounts[r.id])
+		if refCounts[id] != g.rules[id].uses {
+			return fmt.Errorf("use count mismatch for R%d: recorded %d, actual %d", id, g.rules[id].uses, refCounts[id])
 		}
 	}
 	// Digram uniqueness: no adjacent pair occurs twice, except overlapping
-	// occurrences of the same symbol (e.g. the middle of "aaa").
-	seen := make(map[digram]*node)
-	for _, r := range g.rules {
-		for n := r.first(); !n.isGuard() && !n.next.isGuard(); n = n.next {
-			d := digramOf(n)
+	// occurrences of the same symbol (e.g. the middle of "aaa"). The first
+	// copy of each digram must also be present in the index — a lost entry
+	// means future repetitions of that digram go undetected.
+	seen := make(map[uint64]int32)
+	for id := range g.rules {
+		if g.rules[id].guard < 0 {
+			continue
+		}
+		for n := g.first(int32(id)); !g.isGuard(n) && !g.isGuard(g.nodes[n].next); n = g.nodes[n].next {
+			d := g.digramKey(n)
 			if prev, dup := seen[d]; dup {
-				if prev.next != n {
-					return fmt.Errorf("digram uniqueness violated: %v occurs at least twice", d)
+				if g.nodes[prev].next != n {
+					return fmt.Errorf("digram uniqueness violated: %#x occurs at least twice", d)
 				}
 				continue
 			}
 			seen[d] = n
+			if v, ok := g.index.get(d); !ok {
+				return fmt.Errorf("digram %#x at node %d missing from index", d, n)
+			} else if v != n {
+				return fmt.Errorf("digram %#x indexed at node %d, want first copy %d", d, v, n)
+			}
 		}
 	}
 	// Index consistency: every index entry points at a node whose digram
 	// matches its key and which is still linked into a live rule body.
-	for d, n := range g.index {
-		if n.next == nil || n.isGuard() || n.next.isGuard() {
-			return fmt.Errorf("index entry %v points at guard/unlinked node", d)
+	var indexErr error
+	g.index.forEach(func(key uint64, n int32) {
+		if indexErr != nil {
+			return
 		}
-		if digramOf(n) != d {
-			return fmt.Errorf("index entry %v points at node with digram %v", d, digramOf(n))
+		if g.nodes[n].next < 0 || g.isGuard(n) || g.isGuard(g.nodes[n].next) {
+			indexErr = fmt.Errorf("index entry %#x points at guard/unlinked node", key)
+			return
 		}
+		if g.digramKey(n) != key {
+			indexErr = fmt.Errorf("index entry %#x points at node with digram %#x", key, g.digramKey(n))
+		}
+	})
+	if indexErr != nil {
+		return indexErr
 	}
 	// Every rule body holds at least two symbols.
-	for _, r := range g.rules {
-		if r.id == g.root.id {
+	for id := range g.rules {
+		if g.rules[id].guard < 0 || id == 0 {
 			continue
 		}
 		n := 0
-		for s := r.first(); !s.isGuard(); s = s.next {
+		for s := g.first(int32(id)); !g.isGuard(s); s = g.nodes[s].next {
 			n++
 		}
 		if n < 2 {
-			return fmt.Errorf("rule R%d has body of length %d", r.id, n)
+			return fmt.Errorf("rule R%d has body of length %d", id, n)
 		}
 	}
 	return nil

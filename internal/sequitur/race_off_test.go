@@ -1,0 +1,7 @@
+//go:build !race
+
+package sequitur
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards in the tests skip under it.
+const raceEnabled = false

@@ -16,67 +16,73 @@
 //
 // Input symbols are arbitrary uint64 values (the analyses feed in
 // block-aligned miss addresses).
+//
+// # Storage
+//
+// The grammar is allocation-free on the steady-state append path. Nodes
+// live in a growable slab indexed by int32, with a free list recycling
+// slots as digram substitution unlinks them; no per-symbol heap object is
+// ever created. Terminal values are interned to dense 30-bit ids on first
+// sight, so every symbol — terminal, rule reference, or guard — packs into
+// a single tagged uint32 and a digram becomes one uint64 key in a flat
+// open-addressed hash table. Reset rewinds the grammar for reuse, keeping
+// the slab, the interning table, and the digram index's storage.
 package sequitur
 
+import "math/bits"
+
+// Symbols are tagged uint32s: the low kindBits carry the node kind, the
+// rest the dense terminal id, referenced rule id, or (for guards) the
+// owning rule id.
+const (
+	kindTerm  = 0 // payload: dense terminal id (index into Grammar.terms)
+	kindRule  = 1 // payload: referenced rule id
+	kindGuard = 2 // payload: owning rule id
+	kindBits  = 2
+	kindMask  = 1<<kindBits - 1
+
+	maxID = 1<<30 - 1 // ids must fit in 30 bits next to the kind tag
+
+	nilNode = int32(-1)
+)
+
 // node is one symbol occurrence in a rule body: a terminal, a reference to
-// another rule, or a rule's guard sentinel.
+// another rule, or a rule's guard sentinel. Nodes are index-linked into the
+// grammar's slab; a free node's next field threads the free list.
 type node struct {
-	prev, next *node
-	term       uint64
-	rule       *Rule // non-nil: this node references rule
-	owner      *Rule // non-nil: this node is the guard of owner
+	prev, next int32
+	sym        uint32
 }
 
-func (n *node) isGuard() bool { return n.owner != nil }
-
-// Rule is one production rule. The guard's next/prev delimit the body.
-type Rule struct {
-	id    int
-	guard *node
-	uses  int // number of reference nodes pointing at this rule
+// ruleMeta is one production rule. The guard node's next/prev delimit the
+// body; guard < 0 marks a dead (inlined) rule.
+type ruleMeta struct {
+	guard int32
+	uses  int32 // number of reference nodes pointing at this rule
 }
-
-// ID returns the rule's identifier. The root rule has ID 0.
-func (r *Rule) ID() int { return r.id }
-
-// Uses returns the number of references to the rule in the grammar.
-func (r *Rule) Uses() int { return r.uses }
-
-func (r *Rule) first() *node { return r.guard.next }
-func (r *Rule) last() *node  { return r.guard.prev }
-
-// symRef identifies a symbol for digram indexing: either a terminal value
-// or a rule id.
-type symRef struct {
-	isRule bool
-	v      uint64
-}
-
-type digram struct{ a, b symRef }
-
-func refOf(n *node) symRef {
-	if n.rule != nil {
-		return symRef{isRule: true, v: uint64(n.rule.id)}
-	}
-	return symRef{v: n.term}
-}
-
-func digramOf(n *node) digram { return digram{refOf(n), refOf(n.next)} }
 
 // Grammar incrementally builds a SEQUITUR grammar. The zero value is not
 // usable; call New.
 type Grammar struct {
-	root   *Rule
-	rules  map[int]*Rule
-	nextID int
-	index  map[digram]*node
+	nodes  []node
+	free   int32 // head of the recycled-node free list, nilNode if empty
+	rules  []ruleMeta
+	live   int      // live rules (root included)
+	terms  []uint64 // dense terminal id -> original value
+	intern map[uint64]uint32
+	index  digramTable
 	length int
+
+	// Walk/RuleLengths scratch, reused across calls.
+	lenBuf []int32
+	occBuf []int32
 }
 
 // New returns an empty grammar.
 func New() *Grammar {
-	g := &Grammar{rules: make(map[int]*Rule), index: make(map[digram]*node)}
-	g.root = g.newRule()
+	g := &Grammar{free: nilNode, intern: make(map[uint64]uint32)}
+	g.index.init()
+	g.newRule() // root, id 0
 	return g
 }
 
@@ -89,32 +95,94 @@ func Parse(input []uint64) *Grammar {
 	return g
 }
 
+// Reset rewinds the grammar to empty while retaining all of its storage
+// (node slab, terminal interning table, digram index), so one grammar can
+// be reused across many inputs without re-allocating.
+func (g *Grammar) Reset() {
+	g.nodes = g.nodes[:0]
+	g.rules = g.rules[:0]
+	g.terms = g.terms[:0]
+	clear(g.intern)
+	g.index.reset()
+	g.free = nilNode
+	g.live = 0
+	g.length = 0
+	g.newRule()
+}
+
 // Len returns the number of terminals appended so far.
 func (g *Grammar) Len() int { return g.length }
 
 // RuleCount returns the number of live rules, excluding the root.
-func (g *Grammar) RuleCount() int { return len(g.rules) - 1 }
+func (g *Grammar) RuleCount() int { return g.live - 1 }
 
-// Root returns the root rule.
-func (g *Grammar) Root() *Rule { return g.root }
+// RuleIDBound returns an exclusive upper bound on every rule id the grammar
+// has issued (dead ones included), so callers can size rule-id-indexed
+// slices.
+func (g *Grammar) RuleIDBound() int { return len(g.rules) }
 
-func (g *Grammar) newRule() *Rule {
-	r := &Rule{id: g.nextID}
-	g.nextID++
-	guard := &node{owner: r}
-	guard.next, guard.prev = guard, guard
-	r.guard = guard
-	g.rules[r.id] = r
-	return r
+func (g *Grammar) isGuard(i int32) bool { return g.nodes[i].sym&kindMask == kindGuard }
+
+// ruleOf returns the rule id carried by a rule-reference or guard node.
+func (g *Grammar) ruleOf(i int32) int32 { return int32(g.nodes[i].sym >> kindBits) }
+
+func (g *Grammar) first(r int32) int32 { return g.nodes[g.rules[r].guard].next }
+func (g *Grammar) last(r int32) int32  { return g.nodes[g.rules[r].guard].prev }
+
+// digramKey packs the digram starting at s into one uint64. Both symbols
+// are tagged uint32s, so the key is exact: no two distinct digrams share a
+// key. s and s.next must be non-guard body nodes.
+func (g *Grammar) digramKey(s int32) uint64 {
+	return uint64(g.nodes[s].sym)<<32 | uint64(g.nodes[g.nodes[s].next].sym)
+}
+
+func (g *Grammar) newNode(sym uint32) int32 {
+	if g.free >= 0 {
+		i := g.free
+		g.free = g.nodes[i].next
+		g.nodes[i] = node{prev: nilNode, next: nilNode, sym: sym}
+		return i
+	}
+	g.nodes = append(g.nodes, node{prev: nilNode, next: nilNode, sym: sym})
+	return int32(len(g.nodes) - 1)
+}
+
+func (g *Grammar) freeNode(i int32) {
+	g.nodes[i].next = g.free
+	g.nodes[i].prev = nilNode
+	g.free = i
+}
+
+func (g *Grammar) newRule() int32 {
+	id := int32(len(g.rules))
+	if id > maxID {
+		panic("sequitur: rule id space exhausted")
+	}
+	guard := g.newNode(uint32(id)<<kindBits | kindGuard)
+	g.nodes[guard].prev = guard
+	g.nodes[guard].next = guard
+	g.rules = append(g.rules, ruleMeta{guard: guard})
+	g.live++
+	return id
 }
 
 // Append extends the input by one terminal symbol, restoring both grammar
-// invariants.
+// invariants. Steady-state appends (terminal already interned, storage
+// already grown) perform no heap allocation.
 func (g *Grammar) Append(v uint64) {
-	n := &node{term: v}
-	g.insertAfter(g.root.last(), n)
+	id, ok := g.intern[v]
+	if !ok {
+		if len(g.terms) > maxID {
+			panic("sequitur: terminal id space exhausted")
+		}
+		id = uint32(len(g.terms))
+		g.intern[v] = id
+		g.terms = append(g.terms, v)
+	}
+	n := g.newNode(id<<kindBits | kindTerm)
+	g.insertAfter(g.last(0), n)
 	g.length++
-	g.check(n.prev)
+	g.check(g.nodes[n].prev)
 }
 
 // deleteDigram removes the index entry for the digram starting at s, if the
@@ -122,45 +190,47 @@ func (g *Grammar) Append(v uint64) {
 // overlapping copies of one digram but only the first is indexed; when that
 // first copy disappears, the index is re-pointed at the surviving
 // overlapping copy so that later repetitions are still detected.
-func (g *Grammar) deleteDigram(s *node) {
-	if s.isGuard() || s.next == nil || s.next.isGuard() {
+func (g *Grammar) deleteDigram(s int32) {
+	sn := g.nodes[s].next
+	if g.isGuard(s) || sn < 0 || g.isGuard(sn) {
 		return
 	}
-	d := digramOf(s)
-	if g.index[d] != s {
+	key := g.digramKey(s)
+	if v, ok := g.index.get(key); !ok || v != s {
 		return
 	}
-	delete(g.index, d)
-	t := s.next
-	if t.next != nil && !t.next.isGuard() && digramOf(t) == d {
-		g.index[d] = t
+	g.index.del(key)
+	tn := g.nodes[sn].next
+	if tn >= 0 && !g.isGuard(tn) && g.digramKey(sn) == key {
+		g.index.set(key, sn)
 	}
 }
 
 // join links left -> right, first dropping any index entry for the digram
 // that previously started at left.
-func (g *Grammar) join(left, right *node) {
-	if left.next != nil {
+func (g *Grammar) join(left, right int32) {
+	if g.nodes[left].next >= 0 {
 		g.deleteDigram(left)
 	}
-	left.next = right
-	right.prev = left
+	g.nodes[left].next = right
+	g.nodes[right].prev = left
 }
 
 // insertAfter places y immediately after x.
-func (g *Grammar) insertAfter(x, y *node) {
-	g.join(y, x.next)
+func (g *Grammar) insertAfter(x, y int32) {
+	g.join(y, g.nodes[x].next)
 	g.join(x, y)
 }
 
 // unlink removes s from its list, cleaning up the digram index and rule
-// reference counts.
-func (g *Grammar) unlink(s *node) {
-	g.join(s.prev, s.next)
-	if !s.isGuard() {
+// reference counts. The slot is not recycled; callers free it once they are
+// done reading the node.
+func (g *Grammar) unlink(s int32) {
+	g.join(g.nodes[s].prev, g.nodes[s].next)
+	if !g.isGuard(s) {
 		g.deleteDigram(s)
-		if s.rule != nil {
-			s.rule.uses--
+		if g.nodes[s].sym&kindMask == kindRule {
+			g.rules[g.ruleOf(s)].uses--
 		}
 	}
 }
@@ -168,62 +238,68 @@ func (g *Grammar) unlink(s *node) {
 // check tests the digram starting at s against the index, forming or
 // reusing a rule when a repetition is found. Reports whether the digram
 // duplicated an existing one.
-func (g *Grammar) check(s *node) bool {
-	if s.isGuard() || s.next.isGuard() {
+func (g *Grammar) check(s int32) bool {
+	if g.isGuard(s) || g.isGuard(g.nodes[s].next) {
 		return false
 	}
-	d := digramOf(s)
-	m, ok := g.index[d]
+	key := g.digramKey(s)
+	m, ok := g.index.get(key)
 	if !ok {
-		g.index[d] = s
+		g.index.set(key, s)
 		return false
 	}
-	if m.next != s { // overlapping occurrences (e.g. "aaa") are left alone
+	if g.nodes[m].next != s { // overlapping occurrences (e.g. "aaa") are left alone
 		g.match(s, m)
 	}
 	return true
 }
 
 // match handles a repeated digram at s and m (m earlier in the grammar).
-func (g *Grammar) match(s, m *node) {
-	var r *Rule
-	if m.prev.isGuard() && m.next.next.isGuard() {
+func (g *Grammar) match(s, m int32) {
+	var r int32
+	mp := g.nodes[m].prev
+	mnn := g.nodes[g.nodes[m].next].next
+	if g.isGuard(mp) && g.isGuard(mnn) {
 		// The earlier occurrence is exactly an existing rule body: reuse it.
-		r = m.prev.owner
+		r = g.ruleOf(mp)
 		g.substitute(s, r)
 	} else {
 		// Create a new rule for the digram.
 		r = g.newRule()
-		g.insertAfter(r.last(), g.copySym(s))
-		g.insertAfter(r.last(), g.copySym(s.next))
+		g.insertAfter(g.last(r), g.copySym(s))
+		g.insertAfter(g.last(r), g.copySym(g.nodes[s].next))
 		g.substitute(m, r)
 		g.substitute(s, r)
-		g.index[digramOf(r.first())] = r.first()
+		g.index.set(g.digramKey(g.first(r)), g.first(r))
 	}
 	// Rule utility: if the rule's first symbol references a rule that is now
 	// used only once, inline that rule.
-	if r.first().rule != nil && r.first().rule.uses == 1 {
-		g.expand(r.first())
+	f := g.first(r)
+	if g.nodes[f].sym&kindMask == kindRule && g.rules[g.ruleOf(f)].uses == 1 {
+		g.expand(f)
 	}
 }
 
 // copySym duplicates a symbol node (for building a new rule body).
-func (g *Grammar) copySym(s *node) *node {
-	n := &node{term: s.term, rule: s.rule}
-	if n.rule != nil {
-		n.rule.uses++
+func (g *Grammar) copySym(s int32) int32 {
+	sym := g.nodes[s].sym
+	if sym&kindMask == kindRule {
+		g.rules[sym>>kindBits].uses++
 	}
-	return n
+	return g.newNode(sym)
 }
 
 // substitute replaces s and s.next with a reference to r, then re-checks
 // the digrams adjacent to the new reference.
-func (g *Grammar) substitute(s *node, r *Rule) {
-	q := s.prev
-	g.unlink(s.next)
+func (g *Grammar) substitute(s, r int32) {
+	q := g.nodes[s].prev
+	sn := g.nodes[s].next
+	g.unlink(sn)
 	g.unlink(s)
-	ref := &node{rule: r}
-	r.uses++
+	g.freeNode(sn)
+	g.freeNode(s)
+	ref := g.newNode(uint32(r)<<kindBits | kindRule)
+	g.rules[r].uses++
 	g.insertAfter(q, ref)
 	if !g.check(q) {
 		g.check(ref)
@@ -233,16 +309,171 @@ func (g *Grammar) substitute(s *node, r *Rule) {
 // expand inlines the rule referenced by ref (which must be that rule's only
 // remaining reference) in place of ref. ref is always the first symbol of a
 // rule body, so its predecessor is a guard and no left-side digram exists.
-func (g *Grammar) expand(ref *node) {
-	left, right := ref.prev, ref.next
-	inner := ref.rule
-	f, l := inner.first(), inner.last()
-	delete(g.rules, inner.id)
-	inner.uses = 0
+func (g *Grammar) expand(ref int32) {
+	left, right := g.nodes[ref].prev, g.nodes[ref].next
+	inner := g.ruleOf(ref)
+	guard := g.rules[inner].guard
+	f, l := g.nodes[guard].next, g.nodes[guard].prev
+	g.rules[inner].guard = -1 // dead
+	g.rules[inner].uses = 0
+	g.live--
 	g.deleteDigram(ref)
 	g.join(left, f)
 	g.join(l, right)
-	if !l.isGuard() && !right.isGuard() {
-		g.index[digramOf(l)] = l
+	if !g.isGuard(l) && !g.isGuard(right) {
+		// Index the junction digram (l, right) — unless it is the second,
+		// overlapping copy of a run of equal symbols whose first copy is the
+		// indexed predecessor (…m l right… with sym(m) == sym(l) ==
+		// sym(right)). Overwriting the entry in that case would strand the
+		// first copy and silently break digram uniqueness later (a bug
+		// present in the original pointer implementation).
+		key := g.digramKey(l)
+		if m, ok := g.index.get(key); !ok || g.nodes[m].next != l {
+			g.index.set(key, l)
+		}
+	}
+	g.freeNode(ref)
+	g.freeNode(guard)
+}
+
+// digramTable is a flat open-addressed hash table from packed digram keys
+// to node indices, with linear probing and tombstone deletion. It replaces
+// the two map operations per digram of the map-based design and allocates
+// only when it grows.
+type digramTable struct {
+	keys []uint64
+	vals []int32 // >= 0: node index; tabEmpty / tabDead otherwise
+	used int     // live + tombstones
+	live int
+}
+
+const (
+	tabEmpty = int32(-1)
+	tabDead  = int32(-2)
+	tabMin   = 64
+)
+
+func (t *digramTable) init() {
+	t.keys = make([]uint64, tabMin)
+	t.vals = make([]int32, tabMin)
+	for i := range t.vals {
+		t.vals[i] = tabEmpty
+	}
+	t.used, t.live = 0, 0
+}
+
+// reset empties the table without shrinking its storage.
+func (t *digramTable) reset() {
+	for i := range t.vals {
+		t.vals[i] = tabEmpty
+	}
+	t.used, t.live = 0, 0
+}
+
+// hash mixes the key over the table's current size. Fibonacci hashing on
+// the high bits gives good spread for the low-entropy packed keys.
+func (t *digramTable) slot(key uint64) uint32 {
+	return uint32((key * 0x9E3779B97F4A7C15) >> (64 - uint(bits.TrailingZeros(uint(len(t.keys))))))
+}
+
+func (t *digramTable) get(key uint64) (int32, bool) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			return 0, false
+		}
+		if v != tabDead && t.keys[i] == key {
+			return v, true
+		}
+	}
+}
+
+// set inserts or overwrites the entry for key.
+func (t *digramTable) set(key uint64, val int32) {
+	if 4*(t.used+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	firstDead := int32(-1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			if firstDead >= 0 {
+				i = uint32(firstDead) // reuse the tombstone; used unchanged
+			} else {
+				t.used++
+			}
+			t.keys[i] = key
+			t.vals[i] = val
+			t.live++
+			return
+		}
+		if v == tabDead {
+			if firstDead < 0 {
+				firstDead = int32(i)
+			}
+			continue
+		}
+		if t.keys[i] == key {
+			t.vals[i] = val
+			return
+		}
+	}
+}
+
+func (t *digramTable) del(key uint64) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			return
+		}
+		if v != tabDead && t.keys[i] == key {
+			t.vals[i] = tabDead
+			t.live--
+			return
+		}
+	}
+}
+
+// grow rehashes into a table sized for the live entries, clearing
+// tombstones.
+func (t *digramTable) grow() {
+	size := len(t.keys)
+	if 2*t.live >= size {
+		size *= 2 // genuinely full: double
+	} // else: same size, just purge tombstones
+	ok, ov := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]int32, size)
+	for i := range t.vals {
+		t.vals[i] = tabEmpty
+	}
+	t.used, t.live = 0, 0
+	mask := uint32(size - 1)
+	for i, v := range ov {
+		if v < 0 {
+			continue
+		}
+		key := ok[i]
+		for j := t.slot(key); ; j = (j + 1) & mask {
+			if t.vals[j] == tabEmpty {
+				t.keys[j] = key
+				t.vals[j] = v
+				t.used++
+				t.live++
+				break
+			}
+		}
+	}
+}
+
+// forEach visits every live entry.
+func (t *digramTable) forEach(fn func(key uint64, val int32)) {
+	for i, v := range t.vals {
+		if v >= 0 {
+			fn(t.keys[i], v)
+		}
 	}
 }

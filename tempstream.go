@@ -14,10 +14,25 @@
 // The analyses are hardware-independent (Section 3 of the paper): streams
 // are identified by SEQUITUR grammar inference over the miss-address
 // sequence, with no assumptions about any particular prefetcher.
+//
+// # Concurrency
+//
+// Collect runs the two machine simulations concurrently and fans the three
+// context analyses out over a process-wide bounded worker pool; CollectAll
+// additionally overlaps the applications. The pool width defaults to
+// GOMAXPROCS and is tuned with SetWorkers (the cmd/tsreport -j flag maps to
+// it). Results are byte-for-byte deterministic for a given seed regardless
+// of the worker count: every simulation seeds its own RNGs and every
+// analysis is a pure function of its trace. Analyses borrow core.Analyzer
+// instances from an internal pool, so grammar and scratch storage is
+// reused across contexts and applications.
 package tempstream
 
 import (
+	"sync"
+
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -94,11 +109,85 @@ type Experiment struct {
 	SingleChip *workload.Result
 }
 
+// SetWorkers bounds the number of simulations and analyses the package
+// runs concurrently (process-wide, shared with nested CollectAll fan-out).
+// n < 1 restores the default of GOMAXPROCS.
+func SetWorkers(n int) { par.SetWorkers(n) }
+
+// Workers returns the current concurrency bound.
+func Workers() int { return par.Workers() }
+
+// analyzerPool recycles core.Analyzer instances (grammar slab, digram
+// index, walker scratch) across contexts, applications, and Collect calls.
+var analyzerPool = sync.Pool{New: func() any { return core.NewAnalyzer() }}
+
+func analyze(tr *trace.Trace) *core.Analysis {
+	an := analyzerPool.Get().(*core.Analyzer)
+	a := an.Analyze(tr, core.Options{})
+	analyzerPool.Put(an)
+	return a
+}
+
 // Collect runs app on both machine models at the given scale and analyzes
 // all three contexts. target is the number of off-chip misses to collect
 // per machine (0 = default 60000); analysis truncation and warmup follow
 // the package defaults.
+//
+// The two simulations run concurrently, then the three context analyses
+// fan out over the package's worker pool (see SetWorkers). The result is
+// identical to a serial run with the same arguments.
 func Collect(app App, scale Scale, seed int64, target int) *Experiment {
+	var mc, sc *workload.Result
+	var sims par.Group
+	sims.Go(func() {
+		mc = workload.Run(workload.Config{
+			App: app, Machine: workload.MultiChip, Scale: scale,
+			Seed: seed, TargetMisses: target,
+		})
+	})
+	sims.Go(func() {
+		sc = workload.Run(workload.Config{
+			App: app, Machine: workload.SingleChip, Scale: scale,
+			Seed: seed, TargetMisses: target,
+		})
+	})
+	sims.Wait()
+
+	exp := &Experiment{
+		App: app, Scale: scale,
+		Contexts:   make(map[Context]*ContextResult, 3),
+		MultiChip:  mc,
+		SingleChip: sc,
+	}
+	results := make([]*ContextResult, 3)
+	var analyses par.Group
+	for i, in := range []struct {
+		tr  *trace.Trace
+		res *workload.Result
+	}{
+		{mc.OffChip, mc},
+		{sc.OffChip, sc},
+		{sc.IntraChip, sc},
+	} {
+		analyses.Go(func() {
+			results[i] = &ContextResult{
+				Trace:    in.tr,
+				Analysis: analyze(in.tr),
+				SymTab:   in.res.SymTab,
+			}
+		})
+	}
+	analyses.Wait()
+	for i, ctx := range Contexts() {
+		exp.Contexts[ctx] = results[i]
+	}
+	return exp
+}
+
+// collectSerial is the strictly sequential reference implementation of
+// Collect; the determinism tests compare the concurrent path against it
+// field for field.
+func collectSerial(app App, scale Scale, seed int64, target int) *Experiment {
 	mc := workload.Run(workload.Config{
 		App: app, Machine: workload.MultiChip, Scale: scale,
 		Seed: seed, TargetMisses: target,
@@ -131,11 +220,21 @@ func Collect(app App, scale Scale, seed int64, target int) *Experiment {
 	return exp
 }
 
-// CollectAll runs every application.
+// CollectAll runs every application, overlapping them on the worker pool,
+// and returns the experiments in Apps() order.
 func CollectAll(scale Scale, seed int64, target int) []*Experiment {
-	var out []*Experiment
-	for _, app := range Apps() {
-		out = append(out, Collect(app, scale, seed, target))
+	apps := Apps()
+	out := make([]*Experiment, len(apps))
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		// Collect orchestrates its own pool-bounded leaf tasks, so the
+		// per-app goroutine must not hold a worker slot itself.
+		go func() {
+			defer wg.Done()
+			out[i] = Collect(app, scale, seed, target)
+		}()
 	}
+	wg.Wait()
 	return out
 }

@@ -1,0 +1,97 @@
+package tempstream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// compareExperiments asserts the two experiments are identical field for
+// field, with targeted messages before falling back to a deep comparison.
+func compareExperiments(t *testing.T, got, want *Experiment) {
+	t.Helper()
+	if got.App != want.App || got.Scale != want.Scale {
+		t.Fatalf("identity mismatch: %v/%v vs %v/%v", got.App, got.Scale, want.App, want.Scale)
+	}
+	if got.MultiChip.OffChip.Len() != want.MultiChip.OffChip.Len() ||
+		got.SingleChip.OffChip.Len() != want.SingleChip.OffChip.Len() {
+		t.Fatalf("trace lengths differ: multi %d vs %d, single %d vs %d",
+			got.MultiChip.OffChip.Len(), want.MultiChip.OffChip.Len(),
+			got.SingleChip.OffChip.Len(), want.SingleChip.OffChip.Len())
+	}
+	for _, ctx := range Contexts() {
+		g, w := got.Contexts[ctx], want.Contexts[ctx]
+		if !reflect.DeepEqual(g.Trace.Misses, w.Trace.Misses) {
+			t.Errorf("%v: miss traces differ", ctx)
+		}
+		if !reflect.DeepEqual(g.Analysis.State, w.Analysis.State) {
+			t.Errorf("%v: per-miss states differ", ctx)
+		}
+		if !reflect.DeepEqual(g.Analysis.Strided, w.Analysis.Strided) {
+			t.Errorf("%v: stride flags differ", ctx)
+		}
+		if !reflect.DeepEqual(g.Analysis.Instances, w.Analysis.Instances) {
+			t.Errorf("%v: stream instances differ (%d vs %d)",
+				ctx, len(g.Analysis.Instances), len(w.Analysis.Instances))
+		}
+		if !reflect.DeepEqual(g.Analysis.ReuseDist.Buckets(), w.Analysis.ReuseDist.Buckets()) {
+			t.Errorf("%v: reuse-distance histograms differ", ctx)
+		}
+		if g.Analysis.MedianStreamLength() != w.Analysis.MedianStreamLength() {
+			t.Errorf("%v: median stream length %v vs %v",
+				ctx, g.Analysis.MedianStreamLength(), w.Analysis.MedianStreamLength())
+		}
+		if g.Analysis.GrammarRules() != w.Analysis.GrammarRules() {
+			t.Errorf("%v: grammar rules %d vs %d",
+				ctx, g.Analysis.GrammarRules(), w.Analysis.GrammarRules())
+		}
+	}
+	// Everything else (MPKI, footprints, symbol tables, kernel stats, the
+	// full analysis structs): deep equality over the whole experiment.
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("experiments differ outside the fields checked above")
+	}
+}
+
+// TestConcurrentCollectMatchesSerial is the pipeline determinism guard:
+// the concurrent Collect path must equal the strictly serial reference
+// field for field, at several worker counts.
+func TestConcurrentCollectMatchesSerial(t *testing.T) {
+	const (
+		seed   = 3
+		target = 9000
+	)
+	want := collectSerial(Apache, Small, seed, target)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		got := Collect(Apache, Small, seed, target)
+		compareExperiments(t, got, want)
+	}
+	SetWorkers(0)
+	got := Collect(Apache, Small, seed, target)
+	compareExperiments(t, got, want)
+}
+
+// TestCollectAllDeterministicOrder checks that the parallel CollectAll
+// returns experiments in Apps() order and that repeated runs are
+// identical.
+func TestCollectAllDeterministicOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-app determinism sweep in short mode")
+	}
+	const (
+		seed   = 5
+		target = 3000
+	)
+	a := CollectAll(Small, seed, target)
+	b := CollectAll(Small, seed, target)
+	apps := Apps()
+	if len(a) != len(apps) || len(b) != len(apps) {
+		t.Fatalf("CollectAll returned %d/%d experiments, want %d", len(a), len(b), len(apps))
+	}
+	for i, app := range apps {
+		if a[i].App != app || b[i].App != app {
+			t.Fatalf("experiment %d is %v/%v, want %v (Apps() order)", i, a[i].App, b[i].App, app)
+		}
+		compareExperiments(t, b[i], a[i])
+	}
+}
