@@ -1,0 +1,163 @@
+// Command tsbench runs (or parses) the repository's benchmark suite and
+// writes a BENCH_<n>.json trajectory artifact: one JSON document per
+// invocation holding every benchmark's ns/op and custom metrics
+// (misses/sec, covered_%, coherence shares, ...). Successive artifacts
+// (BENCH_1.json, BENCH_2.json, ...) form the perf trajectory of the
+// repository over time; CI runs it on every push and uploads the result.
+//
+// Usage:
+//
+//	tsbench                     # runs `go test -short -bench=. -benchtime=1x ./...`
+//	tsbench -in bench.txt       # parses an existing benchmark output instead
+//	tsbench -out results.json   # explicit output path (default BENCH_<n>.json)
+//	tsbench -bench Simulation -benchtime 5x -count 3   # forwarded to go test
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark line, parsed.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the whole trajectory record.
+type Artifact struct {
+	Timestamp  string        `json:"timestamp"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Command    string        `json:"command,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkX-8   	  10	 123 ns/op	 4 B/op	 5 allocs/op	 6.7 label`.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	procSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+func parseBench(r io.Reader) []BenchResult {
+	var out []BenchResult
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		fatalf("reading benchmark output: %v", err)
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		res := BenchResult{
+			Name:       procSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			default:
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// nextArtifactPath finds the first unused BENCH_<n>.json in dir. Any stat
+// error other than "exists" stops the search (the subsequent write will
+// report the real problem).
+func nextArtifactPath(dir string) string {
+	for n := 1; ; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); err != nil {
+			return p
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tsbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "parse this existing `go test -bench` output instead of running the suite")
+	out := flag.String("out", "", "output JSON path (default: next unused BENCH_<n>.json)")
+	dir := flag.String("dir", ".", "directory for auto-numbered artifacts")
+	benchRe := flag.String("bench", ".", "benchmark pattern forwarded to go test")
+	benchtime := flag.String("benchtime", "1x", "benchtime forwarded to go test")
+	count := flag.Int("count", 1, "count forwarded to go test")
+	long := flag.Bool("long", false, "run without -short (includes the simulation-heavy benchmarks)")
+	flag.Parse()
+
+	art := Artifact{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		art.Benchmarks = parseBench(f)
+		f.Close()
+		art.Command = "parsed from " + *in
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *benchRe,
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "./..."}
+		if !*long {
+			args = append([]string{"test", "-short"}, args[1:]...)
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBuf, err := cmd.Output()
+		if err != nil {
+			fatalf("go test: %v", err)
+		}
+		art.Benchmarks = parseBench(strings.NewReader(string(outBuf)))
+		art.Command = "go " + strings.Join(args, " ")
+	}
+
+	path := *out
+	if path == "" {
+		path = nextArtifactPath(*dir)
+	}
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("tsbench: wrote %d benchmark results to %s\n", len(art.Benchmarks), path)
+}

@@ -75,7 +75,7 @@ func (t *BTree) touchNode(ctx *engine.Ctx, base uint64, key int) {
 // (from which record ids derive).
 func (t *BTree) Search(ctx *engine.Ctx, key int) int {
 	d := t.d
-	ctx.Call(d.Fn("sqliSearch"))
+	ctx.Call(d.fn.sqliSearch)
 	defer ctx.Ret()
 
 	root := d.BP.Fetch(ctx, PageID{t.space, t.rootPage})
@@ -98,7 +98,7 @@ func (t *BTree) Search(ctx *engine.Ctx, key int) int {
 func (t *BTree) Scan(ctx *engine.Ctx, startKey, n int, visit func(leaf int)) {
 	d := t.d
 	first := t.Search(ctx, startKey)
-	ctx.Call(d.Fn("sqliScan"))
+	ctx.Call(d.fn.sqliScan)
 	defer ctx.Ret()
 	leaves := (n + t.leafCap - 1) / t.leafCap
 	for i := 0; i < leaves; i++ {
@@ -122,7 +122,7 @@ func (t *BTree) Scan(ctx *engine.Ctx, startKey, n int, visit func(leaf int)) {
 func (t *BTree) Insert(ctx *engine.Ctx, key int) {
 	d := t.d
 	leaf := t.Search(ctx, key)
-	ctx.Call(d.Fn("sqliInsert"))
+	ctx.Call(d.fn.sqliInsert)
 	base := d.BP.Fetch(ctx, PageID{t.space, t.leafPage[leaf]})
 	span := d.P.PageBytes / memmap.BlockSize
 	off := uint64(key) % span

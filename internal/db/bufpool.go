@@ -95,7 +95,7 @@ func (bp *BufferPool) Resident(pid PageID) bool {
 // frame.
 func (bp *BufferPool) Fetch(ctx *engine.Ctx, pid PageID) uint64 {
 	d := bp.d
-	ctx.Call(d.Fn("sqlpgFetch"))
+	ctx.Call(d.fn.sqlpgFetch)
 	defer ctx.Ret()
 
 	h := bp.hashOf(pid)
@@ -141,7 +141,7 @@ func (bp *BufferPool) MarkDirty(pid PageID) {
 // every evicting agent, making it a coherence hot spot under DSS scans.
 func (bp *BufferPool) evict(ctx *engine.Ctx) int {
 	d := bp.d
-	ctx.Call(d.Fn("sqlpgClock"))
+	ctx.Call(d.fn.sqlpgClock)
 	defer ctx.Ret()
 	ctx.Read(bp.clock)
 	ctx.Write(bp.clock)
@@ -166,7 +166,7 @@ func (bp *BufferPool) evict(ctx *engine.Ctx) int {
 // the frame (DMA reads do not invalidate) and the descriptor is updated.
 func (bp *BufferPool) flush(ctx *engine.Ctx, f int) {
 	d := bp.d
-	ctx.Call(d.Fn("sqlpgFlush"))
+	ctx.Call(d.fn.sqlpgFlush)
 	base := bp.FrameAddr(f)
 	for i := 0; i < 4; i++ {
 		ctx.Read(base + uint64(i)*16*memmap.BlockSize)

@@ -56,12 +56,48 @@ type Engine struct {
 	Log   *LogManager
 
 	fns map[string]trace.Func
+
+	// fn caches the descriptors the interpreter consults on every
+	// simulated call, so the per-operation paths skip the string-keyed
+	// map (Fn stays for ad-hoc and external lookups).
+	fn struct {
+		sqliSearch, sqliScan, sqliInsert             trace.Func
+		sqldRowFetch, sqldRowUpdate, sqldScan        trace.Func
+		sqlpgFetch, sqlpgClock, sqlpgFlush           trace.Func
+		sqlrrBegin, sqlrrCommit                      trace.Func
+		sqlrrStmtBegin, sqlrrStmtEnd, sqlraCursor    trace.Func
+		sqleIPCSend, sqleIPCRecv                     trace.Func
+		sqlriExec, sqlriAgg                          trace.Func
+		sqlpLock, sqlpUnlock, sqlpdLogWrite, sqloSem trace.Func
+	}
 }
 
 // New builds the engine on top of the kernel model.
 func New(k *solaris.Kernel, p Params) *Engine {
 	d := &Engine{K: k, P: p, ST: k.ST, fns: make(map[string]trace.Func)}
 	d.registerFunctions()
+	d.fn.sqliSearch = d.Fn("sqliSearch")
+	d.fn.sqliScan = d.Fn("sqliScan")
+	d.fn.sqliInsert = d.Fn("sqliInsert")
+	d.fn.sqldRowFetch = d.Fn("sqldRowFetch")
+	d.fn.sqldRowUpdate = d.Fn("sqldRowUpdate")
+	d.fn.sqldScan = d.Fn("sqldScan")
+	d.fn.sqlpgFetch = d.Fn("sqlpgFetch")
+	d.fn.sqlpgClock = d.Fn("sqlpgClock")
+	d.fn.sqlpgFlush = d.Fn("sqlpgFlush")
+	d.fn.sqlrrBegin = d.Fn("sqlrrBegin")
+	d.fn.sqlrrCommit = d.Fn("sqlrrCommit")
+	d.fn.sqlrrStmtBegin = d.Fn("sqlrrStmtBegin")
+	d.fn.sqlrrStmtEnd = d.Fn("sqlrrStmtEnd")
+	d.fn.sqlraCursor = d.Fn("sqlraCursor")
+	d.fn.sqleIPCSend = d.Fn("sqleIPCSend")
+	d.fn.sqleIPCRecv = d.Fn("sqleIPCRecv")
+	d.fn.sqlriExec = d.Fn("sqlriExec")
+	d.fn.sqlriAgg = d.Fn("sqlriAgg")
+	d.fn.sqlpLock = d.Fn("sqlpLock")
+	d.fn.sqlpUnlock = d.Fn("sqlpUnlock")
+	d.fn.sqlpdLogWrite = d.Fn("sqlpdLogWrite")
+	d.fn.sqloSem = d.Fn("sqloSem")
 	d.BP = newBufferPool(d)
 	d.Locks = newLockManager(d)
 	d.Txns = newTxnTable(d)

@@ -41,7 +41,7 @@ func newLockManager(d *Engine) *LockManager {
 // Lock acquires a logical lock on resource, returning a handle for Unlock.
 func (lm *LockManager) Lock(ctx *engine.Ctx, resource uint64) int {
 	d := lm.d
-	ctx.Call(d.Fn("sqlpLock"))
+	ctx.Call(d.fn.sqlpLock)
 	defer ctx.Ret()
 	b := int(resource*2654435761>>16) % lm.buckets
 	addr := lm.bucketBase + uint64(b)*memmap.BlockSize
@@ -70,7 +70,7 @@ func (lm *LockManager) Unlock(ctx *engine.Ctx, handle int) {
 		return
 	}
 	d := lm.d
-	ctx.Call(d.Fn("sqlpUnlock"))
+	ctx.Call(d.fn.sqlpUnlock)
 	h, b := handle>>16, handle&0xffff
 	addr := lm.bucketBase + uint64(b)*memmap.BlockSize
 	ctx.Write(lm.pool[h])
@@ -103,7 +103,7 @@ func newTxnTable(d *Engine) *TxnTable {
 // Begin opens a transaction and returns its slot.
 func (tt *TxnTable) Begin(ctx *engine.Ctx) int {
 	d := tt.d
-	ctx.Call(d.Fn("sqlrrBegin"))
+	ctx.Call(d.fn.sqlrrBegin)
 	tt.latch.Enter(ctx)
 	slot := tt.next % tt.slots
 	tt.next++
@@ -118,7 +118,7 @@ func (tt *TxnTable) Begin(ctx *engine.Ctx) int {
 // Commit closes the transaction in slot, forcing a log record.
 func (tt *TxnTable) Commit(ctx *engine.Ctx, slot int) {
 	d := tt.d
-	ctx.Call(d.Fn("sqlrrCommit"))
+	ctx.Call(d.fn.sqlrrCommit)
 	tt.latch.Enter(ctx)
 	ctx.Write(tt.slotBase + uint64(slot)*memmap.BlockSize)
 	tt.latch.Exit(ctx)
@@ -160,7 +160,7 @@ func newLogManager(d *Engine) *LogManager {
 // activity the paper's OLTP copy category contains.
 func (lg *LogManager) Append(ctx *engine.Ctx, n uint64) {
 	d := lg.d
-	ctx.Call(d.Fn("sqlpdLogWrite"))
+	ctx.Call(d.fn.sqlpdLogWrite)
 	lg.latch.Enter(ctx)
 	ctx.Read(lg.head)
 	ctx.Write(lg.head)

@@ -22,7 +22,7 @@ func (d *Engine) NewLatch() *Latch {
 
 // Enter acquires the latch.
 func (l *Latch) Enter(ctx *engine.Ctx) {
-	ctx.Call(l.d.Fn("sqloSem"))
+	ctx.Call(l.d.fn.sqloSem)
 	ctx.Read(l.Addr)
 	ctx.Write(l.Addr)
 	ctx.Ret()
@@ -30,7 +30,7 @@ func (l *Latch) Enter(ctx *engine.Ctx) {
 
 // Exit releases the latch.
 func (l *Latch) Exit(ctx *engine.Ctx) {
-	ctx.Call(l.d.Fn("sqloSem"))
+	ctx.Call(l.d.fn.sqloSem)
 	ctx.Write(l.Addr)
 	ctx.Ret()
 }
@@ -64,7 +64,7 @@ func (p *Plan) Ops() int { return len(p.ops) }
 // Interpret walks n operators starting at op index from (wrapping),
 // modeling per-tuple plan evaluation.
 func (p *Plan) Interpret(ctx *engine.Ctx, from, n int) {
-	ctx.Call(p.d.Fn("sqlriExec"))
+	ctx.Call(p.d.fn.sqlriExec)
 	for i := 0; i < n; i++ {
 		ctx.Read(p.ops[(from+i)%len(p.ops)])
 	}
@@ -89,7 +89,7 @@ func (d *Engine) NewAggregator(name string, groups int) *Aggregator {
 
 // Update folds one tuple into its group.
 func (a *Aggregator) Update(ctx *engine.Ctx, key uint64) {
-	ctx.Call(a.d.Fn("sqlriAgg"))
+	ctx.Call(a.d.fn.sqlriAgg)
 	addr := a.base + (key%a.groups)*memmap.BlockSize
 	ctx.Read(addr)
 	ctx.Write(addr)
@@ -117,10 +117,10 @@ func (d *Engine) NewAgent() *Agent {
 // StmtBegin opens a statement: request-control context and cursor setup.
 func (ag *Agent) StmtBegin(ctx *engine.Ctx) {
 	d := ag.d
-	ctx.Call(d.Fn("sqlrrStmtBegin"))
+	ctx.Call(d.fn.sqlrrStmtBegin)
 	ctx.Read(ag.ctxBase)
 	ctx.Write(ag.ctxBase)
-	ctx.Call(d.Fn("sqlraCursor"))
+	ctx.Call(d.fn.sqlraCursor)
 	ctx.Read(ag.cursor)
 	ctx.Write(ag.cursor)
 	ctx.Ret()
@@ -130,7 +130,7 @@ func (ag *Agent) StmtBegin(ctx *engine.Ctx) {
 // StmtEnd closes the statement.
 func (ag *Agent) StmtEnd(ctx *engine.Ctx) {
 	d := ag.d
-	ctx.Call(d.Fn("sqlrrStmtEnd"))
+	ctx.Call(d.fn.sqlrrStmtEnd)
 	ctx.Write(ag.ctxBase + memmap.BlockSize)
 	ctx.Write(ag.cursor)
 	ctx.Ret()
@@ -164,7 +164,7 @@ func (ipc *IPC) ClientSend(ctx *engine.Ctx, n uint64) {
 	if n > ipc.bufBytes {
 		n = ipc.bufBytes
 	}
-	ctx.Call(d.Fn("sqleIPCSend"))
+	ctx.Call(d.fn.sqleIPCSend)
 	ctx.WriteN(ipc.reqBuf, n)
 	ctx.Read(ipc.doorbell)
 	ctx.Write(ipc.doorbell)
@@ -177,7 +177,7 @@ func (ipc *IPC) ServerRecv(ctx *engine.Ctx, n uint64) {
 	if n > ipc.bufBytes {
 		n = ipc.bufBytes
 	}
-	ctx.Call(d.Fn("sqleIPCRecv"))
+	ctx.Call(d.fn.sqleIPCRecv)
 	ctx.Read(ipc.doorbell)
 	ctx.ReadN(ipc.reqBuf, n)
 	ctx.Ret()
@@ -189,7 +189,7 @@ func (ipc *IPC) ServerReply(ctx *engine.Ctx, n uint64) {
 	if n > ipc.bufBytes {
 		n = ipc.bufBytes
 	}
-	ctx.Call(d.Fn("sqleIPCSend"))
+	ctx.Call(d.fn.sqleIPCSend)
 	ctx.WriteN(ipc.respBuf, n)
 	ctx.Write(ipc.doorbell)
 	ctx.Ret()
@@ -201,7 +201,7 @@ func (ipc *IPC) ClientRecv(ctx *engine.Ctx, n uint64) {
 	if n > ipc.bufBytes {
 		n = ipc.bufBytes
 	}
-	ctx.Call(d.Fn("sqleIPCRecv"))
+	ctx.Call(d.fn.sqleIPCRecv)
 	ctx.ReadN(ipc.respBuf, n)
 	ctx.Ret()
 }

@@ -52,7 +52,7 @@ func (t *Table) rowAddr(frame uint64, slot int) uint64 {
 func (t *Table) RowFetch(ctx *engine.Ctx, rid int) {
 	d := t.d
 	pid, slot := t.pageOf(rid)
-	ctx.Call(d.Fn("sqldRowFetch"))
+	ctx.Call(d.fn.sqldRowFetch)
 	frame := d.BP.Fetch(ctx, pid)
 	ctx.Read(frame) // slot directory
 	ctx.ReadN(t.rowAddr(frame, slot), t.RowBytes)
@@ -63,7 +63,7 @@ func (t *Table) RowFetch(ctx *engine.Ctx, rid int) {
 func (t *Table) RowUpdate(ctx *engine.Ctx, rid int) {
 	d := t.d
 	pid, slot := t.pageOf(rid)
-	ctx.Call(d.Fn("sqldRowUpdate"))
+	ctx.Call(d.fn.sqldRowUpdate)
 	frame := d.BP.Fetch(ctx, pid)
 	ctx.Read(frame)
 	addr := t.rowAddr(frame, slot)
@@ -79,7 +79,7 @@ func (t *Table) RowUpdate(ctx *engine.Ctx, rid int) {
 // the next page offset.
 func (t *Table) ScanPages(ctx *engine.Ctx, start, npages uint32, perPage func(frame uint64)) uint32 {
 	d := t.d
-	ctx.Call(d.Fn("sqldScan"))
+	ctx.Call(d.fn.sqldScan)
 	defer ctx.Ret()
 	end := start + npages
 	total := t.Pages()

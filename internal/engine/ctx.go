@@ -30,21 +30,49 @@ type WindowFunc func(ctx *Ctx, t *TCB, spill bool)
 // accesses. It maintains the simulated call stack (the paper attributes
 // every miss to the function enclosing it) and applies the VM and
 // register-window hooks the kernel model installs.
+//
+// The access methods run once per simulated memory reference — the
+// hottest boundary in the system — so two indirections are flattened
+// here: the machine is devirtualized (direct calls into the concrete DSM
+// or CMP model instead of an interface dispatch), and the VM's TLB-hit
+// check runs inline against tag arrays the kernel model registers with
+// InstallTLB, so the translate hook is only called on actual TLB misses.
 type Ctx struct {
 	CPU  int
 	Eng  *Engine
 	Rand *rand.Rand
 
 	mem       sim.Machine
+	dsm       *sim.DSM // non-nil when mem is the multi-chip model
+	cmp       *sim.CMP // non-nil when mem is the single-chip model
 	cur       *TCB
 	fnStack   []trace.FuncID
+	curFn     trace.FuncID // top of fnStack, cached for the per-access path
 	translate TranslateFunc
+	dtlb      []uint64 // this CPU's data-TLB tags (vpn+1), nil without VM
+	itlb      []uint64 // this CPU's instruction-TLB tags
+	tlbMask   uint64
 	onWindow  WindowFunc
 	instr     uint64
 }
 
-// InstallVM sets the translation hook (nil disables).
-func (c *Ctx) InstallVM(f TranslateFunc) { c.translate = f }
+// InstallVM sets the translation hook (nil disables, along with any fast
+// TLB tags registered by InstallTLB).
+func (c *Ctx) InstallVM(f TranslateFunc) {
+	c.translate = f
+	if f == nil {
+		c.dtlb, c.itlb, c.tlbMask = nil, nil, 0
+	}
+}
+
+// InstallTLB registers the VM's per-CPU TLB tag arrays (entries hold
+// vpn+1) so the translated-access fast path can check them without
+// calling the hook. The arrays are shared with the VM model, which keeps
+// filling them on misses.
+func (c *Ctx) InstallTLB(dtlb, itlb []uint64) {
+	c.dtlb, c.itlb = dtlb, itlb
+	c.tlbMask = uint64(len(dtlb) - 1)
+}
 
 // InstallWindows sets the register-window hook (nil disables).
 func (c *Ctx) InstallWindows(f WindowFunc) { c.onWindow = f }
@@ -53,23 +81,81 @@ func (c *Ctx) InstallWindows(f WindowFunc) { c.onWindow = f }
 func (c *Ctx) Thread() *TCB { return c.cur }
 
 // Fn returns the function currently on top of the simulated call stack.
-func (c *Ctx) Fn() trace.FuncID {
-	if len(c.fnStack) == 0 {
-		return 0
+func (c *Ctx) Fn() trace.FuncID { return c.curFn }
+
+// xlateData runs the VM hook for a data access unless the TLB already
+// holds the page; the TLB-hit check stays small enough to inline into the
+// access methods, with the hook dispatch out of line.
+func (c *Ctx) xlateData(addr uint64) {
+	if c.dtlb != nil {
+		vpn := addr >> memmap.PageBits
+		if c.dtlb[vpn&c.tlbMask] == vpn+1 {
+			return
+		}
 	}
-	return c.fnStack[len(c.fnStack)-1]
+	c.xlateSlow(addr, false)
+}
+
+// xlateInstr is xlateData for instruction fetches.
+func (c *Ctx) xlateInstr(addr uint64) {
+	if c.itlb != nil {
+		vpn := addr >> memmap.PageBits
+		if c.itlb[vpn&c.tlbMask] == vpn+1 {
+			return
+		}
+	}
+	c.xlateSlow(addr, true)
+}
+
+// xlateSlow enters the VM's miss handler.
+func (c *Ctx) xlateSlow(addr uint64, instruction bool) {
+	if c.translate != nil {
+		c.translate(c, addr, instruction)
+	}
+}
+
+// read dispatches a data read to the concrete machine.
+func (c *Ctx) read(addr uint64, fn trace.FuncID) {
+	if c.dsm != nil {
+		c.dsm.Read(c.CPU, addr, fn)
+	} else if c.cmp != nil {
+		c.cmp.Read(c.CPU, addr, fn)
+	} else {
+		c.mem.Read(c.CPU, addr, fn)
+	}
+}
+
+// write dispatches a data write to the concrete machine.
+func (c *Ctx) write(addr uint64, fn trace.FuncID) {
+	if c.dsm != nil {
+		c.dsm.Write(c.CPU, addr, fn)
+	} else if c.cmp != nil {
+		c.cmp.Write(c.CPU, addr, fn)
+	} else {
+		c.mem.Write(c.CPU, addr, fn)
+	}
+}
+
+// fetch dispatches an instruction fetch to the concrete machine.
+func (c *Ctx) fetch(addr uint64, fn trace.FuncID) {
+	if c.dsm != nil {
+		c.dsm.Fetch(c.CPU, addr, fn)
+	} else if c.cmp != nil {
+		c.cmp.Fetch(c.CPU, addr, fn)
+	} else {
+		c.mem.Fetch(c.CPU, addr, fn)
+	}
 }
 
 // Call enters function f: the call stack grows, f's code blocks are
 // fetched, and the register-window hook may spill.
 func (c *Ctx) Call(f trace.Func) {
 	c.fnStack = append(c.fnStack, f.ID)
+	c.curFn = f.ID
 	if f.Code.Size > 0 {
 		for a := f.Code.Base; a < f.Code.End(); a += memmap.BlockSize {
-			if c.translate != nil {
-				c.translate(c, a, true)
-			}
-			c.mem.Fetch(c.CPU, a, f.ID)
+			c.xlateInstr(a)
+			c.fetch(a, f.ID)
 			c.instr += instrPerCodeBlock
 		}
 	}
@@ -83,8 +169,13 @@ func (c *Ctx) Call(f trace.Func) {
 
 // Ret leaves the current function.
 func (c *Ctx) Ret() {
-	if len(c.fnStack) > 0 {
-		c.fnStack = c.fnStack[:len(c.fnStack)-1]
+	if n := len(c.fnStack); n > 0 {
+		c.fnStack = c.fnStack[:n-1]
+		if n > 1 {
+			c.curFn = c.fnStack[n-2]
+		} else {
+			c.curFn = 0
+		}
 	}
 	if c.cur != nil {
 		if c.onWindow != nil && c.cur.WinDepth%8 == 0 && c.cur.WinDepth > 0 {
@@ -98,19 +189,15 @@ func (c *Ctx) Ret() {
 
 // Read emits one data read at addr, attributed to the current function.
 func (c *Ctx) Read(addr uint64) {
-	if c.translate != nil {
-		c.translate(c, addr, false)
-	}
-	c.mem.Read(c.CPU, addr, c.Fn())
+	c.xlateData(addr)
+	c.read(addr, c.curFn)
 	c.instr += instrPerAccess
 }
 
 // Write emits one data write at addr.
 func (c *Ctx) Write(addr uint64) {
-	if c.translate != nil {
-		c.translate(c, addr, false)
-	}
-	c.mem.Write(c.CPU, addr, c.Fn())
+	c.xlateData(addr)
+	c.write(addr, c.curFn)
 	c.instr += instrPerAccess
 }
 
@@ -138,20 +225,20 @@ func (c *Ctx) WriteN(addr, n uint64) {
 // RawRead bypasses the VM hook (used by the VM model itself: hardware
 // table walks and TSB accesses are physically addressed).
 func (c *Ctx) RawRead(addr uint64, fn trace.FuncID) {
-	c.mem.Read(c.CPU, addr, fn)
+	c.read(addr, fn)
 	c.instr += instrPerAccess
 }
 
 // RawWrite bypasses the VM hook.
 func (c *Ctx) RawWrite(addr uint64, fn trace.FuncID) {
-	c.mem.Write(c.CPU, addr, fn)
+	c.write(addr, fn)
 	c.instr += instrPerAccess
 }
 
 // RawFetch emits one instruction fetch without translation (trap handlers
 // run out of locked TLB entries).
 func (c *Ctx) RawFetch(addr uint64, fn trace.FuncID) {
-	c.mem.Fetch(c.CPU, addr, fn)
+	c.fetch(addr, fn)
 	c.instr += instrPerCodeBlock
 }
 
@@ -161,11 +248,10 @@ func (c *Ctx) NonAllocStore(addr, n uint64) {
 	if n == 0 {
 		return
 	}
+	fn := c.Fn()
 	for a := memmap.BlockOf(addr); a < addr+n; a += memmap.BlockSize {
-		if c.translate != nil {
-			c.translate(c, a, false)
-		}
-		c.mem.NonAllocStore(c.CPU, a, c.Fn())
+		c.xlateData(a)
+		c.mem.NonAllocStore(c.CPU, a, fn)
 		c.instr += instrPerAccess
 	}
 }

@@ -109,12 +109,22 @@ func New(m sim.Machine, d Dispatcher, hooks SleepHooks, seed int64) *Engine {
 		cur:   make([]*TCB, m.CPUs()),
 	}
 	for cpu := 0; cpu < e.ncpu; cpu++ {
-		e.ctxs = append(e.ctxs, &Ctx{
+		ctx := &Ctx{
 			CPU:  cpu,
 			Eng:  e,
 			Rand: rand.New(rand.NewSource(seed + int64(cpu)*7919)),
 			mem:  m,
-		})
+		}
+		// Devirtualize the per-access dispatch for the two concrete
+		// machine models; other Machine implementations (tests, mocks)
+		// fall back to the interface.
+		switch mm := m.(type) {
+		case *sim.DSM:
+			ctx.dsm = mm
+		case *sim.CMP:
+			ctx.cmp = mm
+		}
+		e.ctxs = append(e.ctxs, ctx)
 	}
 	return e
 }

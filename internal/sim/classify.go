@@ -9,10 +9,13 @@ const (
 	writerDMA     int16 = -1
 )
 
+// maxClassifierCPUs bounds the per-block CPU bitmasks.
+const maxClassifierCPUs = 16
+
 // Classifier implements the paper's miss taxonomy (Section 4.1) from first
 // principles, independent of cache contents:
 //
-//   - Compulsory: the block has never been accessed by any CPU.
+//   - Compulsory: the cache block has never previously been accessed.
 //   - I/O Coherence: the block was last written by a DMA transfer or a
 //     non-allocating kernel-to-user bulk copy, and that write postdates
 //     this CPU's last read (or the CPU never read the block).
@@ -21,42 +24,42 @@ const (
 //     cache.
 //   - Replacement: everything else (capacity/conflict).
 //
-// State is kept in flat per-block arrays: a global write version, the
-// identity of the last writer, and a per-CPU "version seen at last read".
+// All state lives in ONE packed word per block — a bitmask of CPUs
+// holding the current write version, a bitmask of CPUs that ever read the
+// block, and the last writer's identity — so classifying or noting an
+// access touches a single cache line. The bitmasks carry exactly the
+// information the classical per-CPU read-version arrays do: "written
+// since my last read" is "I read it before, and a write has cleared my
+// holder bit since".
 type Classifier struct {
-	ncpu       int
-	writeVer   []uint32
-	lastWriter []int16
-	readVer    [][]uint32
-	touched    []uint64 // bitset: block was accessed by some CPU
+	ncpu int
+	// per block: holders | everRead<<16 | uint16(lastWriter)<<32
+	state []uint64
 }
+
+func packWriter(w int16) uint64 { return uint64(uint16(w)) << 32 }
+
+var initialWState = packWriter(writerNone)
 
 // NewClassifier sizes classification state for ncpu CPUs over nblocks
 // blocks of compact address space.
 func NewClassifier(ncpu int, nblocks uint64) *Classifier {
+	if ncpu > maxClassifierCPUs {
+		panic("sim: classifier supports at most 16 CPUs")
+	}
 	c := &Classifier{
-		ncpu:       ncpu,
-		writeVer:   make([]uint32, nblocks),
-		lastWriter: make([]int16, nblocks),
-		readVer:    make([][]uint32, ncpu),
-		touched:    make([]uint64, (nblocks+63)/64),
+		ncpu:  ncpu,
+		state: make([]uint64, nblocks),
 	}
-	for i := range c.lastWriter {
-		c.lastWriter[i] = writerNone
-	}
-	for i := range c.readVer {
-		c.readVer[i] = make([]uint32, nblocks)
+	for i := range c.state {
+		c.state[i] = initialWState
 	}
 	return c
 }
 
 // Touched reports whether any CPU has accessed block.
 func (c *Classifier) Touched(block uint64) bool {
-	return c.touched[block/64]&(1<<(block%64)) != 0
-}
-
-func (c *Classifier) touch(block uint64) {
-	c.touched[block/64] |= 1 << (block % 64)
+	return c.state[block]>>16&0xFFFF != 0
 }
 
 // ClassifyRead classifies a read miss by cpu to block. remoteDirty reports
@@ -68,12 +71,18 @@ func (c *Classifier) touch(block uint64) {
 //
 // Call before NoteRead for the same access.
 func (c *Classifier) ClassifyRead(cpu int, block uint64, remoteDirty, offChipCMP bool) trace.MissClass {
-	if !c.Touched(block) {
+	s := c.state[block]
+	everRead := s >> 16 & 0xFFFF
+	if everRead == 0 {
+		// No CPU has read or written the block (writes set the writer's
+		// everRead bit): first access, compulsory.
 		return trace.Compulsory
 	}
-	w := c.lastWriter[block]
-	rv := c.readVer[cpu][block]
-	writtenSinceMyRead := rv > 0 && c.writeVer[block]+1 > rv
+	bit := uint64(1) << uint(cpu)
+	w := int16(uint16(s >> 32))
+	// "Written since my last read": this CPU read the block at some point,
+	// and a later write cleared its holder bit.
+	writtenSinceMyRead := everRead&bit != 0 && s&bit == 0
 	switch {
 	case (w == writerDMA || w == writerCopyout) && writtenSinceMyRead:
 		// The I/O write invalidated a copy this CPU had actually read:
@@ -92,30 +101,29 @@ func (c *Classifier) ClassifyRead(cpu int, block uint64, remoteDirty, offChipCMP
 
 // NoteRead records that cpu observed the current version of block.
 func (c *Classifier) NoteRead(cpu int, block uint64) {
-	c.touch(block)
-	c.readVer[cpu][block] = c.writeVer[block] + 1
+	bit := uint64(1) << uint(cpu)
+	c.state[block] |= bit | bit<<16
 }
 
-// NoteWrite records a store by cpu, bumping the block version. The writer
-// trivially holds the new version.
+// NoteWrite records a store by cpu: every other CPU's copy becomes stale
+// (holder bits collapse to the writer), and the writer trivially holds
+// the new version.
 func (c *Classifier) NoteWrite(cpu int, block uint64) {
-	c.touch(block)
-	c.writeVer[block]++
-	c.lastWriter[block] = int16(cpu)
-	c.readVer[cpu][block] = c.writeVer[block] + 1
+	bit := uint64(1) << uint(cpu)
+	ever := c.state[block] & 0xFFFF0000
+	c.state[block] = bit | bit<<16 | ever | packWriter(int16(cpu))
 }
 
-// NoteDMA records a DMA write. DMA writes do not count as CPU accesses for
-// compulsory-miss purposes: the first CPU touch of freshly arrived I/O data
-// is a compulsory miss, exactly as in the paper's physical-address traces.
+// NoteDMA records a DMA write: all copies become stale. DMA writes do not
+// count as CPU accesses for compulsory-miss purposes: the first CPU touch
+// of freshly arrived I/O data is a compulsory miss, exactly as in the
+// paper's physical-address traces.
 func (c *Classifier) NoteDMA(block uint64) {
-	c.writeVer[block]++
-	c.lastWriter[block] = writerDMA
+	c.state[block] = c.state[block]&0xFFFF0000 | packWriter(writerDMA)
 }
 
 // NoteCopyout records a non-allocating kernel-to-user bulk-copy store
 // (the Solaris default_copyout family).
 func (c *Classifier) NoteCopyout(block uint64) {
-	c.writeVer[block]++
-	c.lastWriter[block] = writerCopyout
+	c.state[block] = c.state[block]&0xFFFF0000 | packWriter(writerCopyout)
 }

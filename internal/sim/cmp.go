@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/trace"
@@ -20,10 +22,15 @@ import (
 // Replacement) is its cause, while its Supplier records which level
 // provided the data: coherence misses may be satisfied by a peer L1 or by
 // the L2 (after the owner's dirty line was evicted into it).
+//
+// Like the DSM, the hot paths are single-pass: Read/Fetch resolve the
+// L1-hit case with one fused probe+touch, each level's set is scanned at
+// most once per protocol step, and holder iteration runs as inline
+// bitmask loops over the presence vector.
 type CMP struct {
 	ncpu  int
-	l1i   []*cache.Cache
-	l1d   []*cache.Cache
+	l1i   []cache.Cache
+	l1d   []cache.Cache
 	l2    *cache.Cache
 	pres  *coherence.Presence
 	cls   *Classifier
@@ -42,8 +49,8 @@ func NewCMP(ncpu int, p CacheParams, nblocks uint64) *CMP {
 		cls:  NewClassifier(ncpu, nblocks),
 	}
 	for i := 0; i < ncpu; i++ {
-		m.l1i = append(m.l1i, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
-		m.l1d = append(m.l1d, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+		m.l1i = append(m.l1i, *cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
+		m.l1d = append(m.l1d, *cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
 	}
 	m.off.CPUs = ncpu
 	m.intra.CPUs = ncpu
@@ -53,18 +60,21 @@ func NewCMP(ncpu int, p CacheParams, nblocks uint64) *CMP {
 // CPUs implements Machine.
 func (m *CMP) CPUs() int { return m.ncpu }
 
-// OffChip implements Machine.
-func (m *CMP) OffChip() *trace.Trace { return &m.off }
+// OffChip implements Machine; see DSM.OffChip for the lazy instruction
+// fold.
+func (m *CMP) OffChip() *trace.Trace {
+	m.off.Instructions = m.instr
+	return &m.off
+}
 
 // IntraChip implements Machine.
-func (m *CMP) IntraChip() *trace.Trace { return &m.intra }
+func (m *CMP) IntraChip() *trace.Trace {
+	m.intra.Instructions = m.instr
+	return &m.intra
+}
 
 // Tick implements Machine.
-func (m *CMP) Tick(cpu int, n uint64) {
-	m.instr += n
-	m.off.Instructions = m.instr
-	m.intra.Instructions = m.instr
-}
+func (m *CMP) Tick(cpu int, n uint64) { m.instr += n }
 
 // Classifier exposes the classifier (tests).
 func (m *CMP) Classifier() *Classifier { return m.cls }
@@ -72,7 +82,7 @@ func (m *CMP) Classifier() *Classifier { return m.cls }
 // fillL1 inserts b into cpu's L1 (instruction or data side); the victim
 // spills into the shared L2 (victim-style non-inclusion).
 func (m *CMP) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
-	victim, evicted, _ := l1.Insert(b, st)
+	victim, evicted, _ := l1.Fill(b, st)
 	if st.Dirty() {
 		m.pres.SetOwner(b, cpu)
 	} else {
@@ -85,12 +95,12 @@ func (m *CMP) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
 	// Spill the victim into the L2 unless another L1 still holds it (then
 	// the L2 copy would be redundant; Piranha keeps a single on-chip copy
 	// path - we approximate by only allocating when no L1 copy remains or
-	// the victim is dirty).
-	if m.l2.Contains(victim.Block) {
+	// the victim is dirty). One fused scan covers the residence check, the
+	// dirty-state merge, and the allocation slot.
+	li, resident := m.l2.Probe(victim.Block)
+	if resident {
 		if victim.State.Dirty() {
-			if i, ok := m.l2.Lookup(victim.Block); ok {
-				m.l2.SetState(i, cache.Modified)
-			}
+			m.l2.SetState(li, cache.Modified)
 		}
 		return
 	}
@@ -98,11 +108,9 @@ func (m *CMP) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
 	if victim.State.Dirty() {
 		l2st = cache.Modified
 	}
-	if v, ev, _ := m.l2.Insert(victim.Block, l2st); ev {
-		// L2 victim: a dirty line is written back to memory. Non-inclusive
-		// hierarchy: peer L1 copies, if any, survive.
-		_ = v
-	}
+	// L2 victim, if any, is silently dropped: a dirty line is written back
+	// to memory, and peer L1 copies survive (non-inclusive hierarchy).
+	m.l2.Fill(victim.Block, l2st)
 }
 
 // intraMiss records an L1 miss satisfied on chip.
@@ -116,18 +124,8 @@ func (m *CMP) intraMiss(cpu int, b uint64, fn trace.FuncID, class trace.MissClas
 	})
 }
 
-// access is the shared read/fetch path.
-func (m *CMP) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
-	b := blockOf(addr)
-	l1 := m.l1d[cpu]
-	if instruction {
-		l1 = m.l1i[cpu]
-	}
-	if i, ok := l1.Lookup(b); ok {
-		l1.Touch(i)
-		m.cls.NoteRead(cpu, b)
-		return
-	}
+// readMiss is the shared L1-miss tail of Read and Fetch.
+func (m *CMP) readMiss(l1 *cache.Cache, cpu int, b uint64, fn trace.FuncID) {
 	// L1 miss: determine the cause before protocol state changes.
 	owner := m.pres.Owner(b)
 	remoteDirty := owner >= 0 && owner != cpu
@@ -137,12 +135,12 @@ func (m *CMP) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
 		// Owned copy (MOSI; no writeback to L2 on the forwarding path).
 		class := m.cls.ClassifyRead(cpu, b, true, false)
 		m.intraMiss(cpu, b, fn, class, trace.SupplierPeerL1)
-		if i, ok := m.l1d[owner].Lookup(b); ok && m.l1d[owner].State(i) == cache.Modified {
+		if i, hit := m.l1d[owner].Probe(b); hit && m.l1d[owner].State(i) == cache.Modified {
 			m.l1d[owner].SetState(i, cache.Owned)
 		}
 		m.fillL1(cpu, l1, b, cache.Shared)
 	default:
-		if i, ok := m.l2.Lookup(b); ok {
+		if i, hit := m.l2.Probe(b); hit {
 			// Shared L2 hit: move the block up into the L1 (victim-style).
 			class := m.cls.ClassifyRead(cpu, b, false, false)
 			if class == trace.Compulsory || class == trace.IOCoherence {
@@ -187,37 +185,58 @@ func (m *CMP) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
 	m.cls.NoteRead(cpu, b)
 }
 
-// Read implements Machine.
+// Read implements Machine. Unlike the DSM (whose invalidations are
+// node-granular), the presence vector tracks cores, not individual L1
+// arrays, so a stale copy can survive in one L1 side after the other
+// side's copy was evicted and a peer wrote — the L1-hit path therefore
+// keeps the seed's NoteRead.
 func (m *CMP) Read(cpu int, addr uint64, fn trace.FuncID) {
-	m.access(cpu, addr, fn, false)
+	b := blockOf(addr)
+	l1 := &m.l1d[cpu]
+	if l1.ReadHit(b) {
+		m.cls.NoteRead(cpu, b)
+		return
+	}
+	m.readMiss(l1, cpu, b, fn)
 }
 
 // Fetch implements Machine.
 func (m *CMP) Fetch(cpu int, addr uint64, fn trace.FuncID) {
-	m.access(cpu, addr, fn, true)
+	b := blockOf(addr)
+	l1 := &m.l1i[cpu]
+	if l1.ReadHit(b) {
+		m.cls.NoteRead(cpu, b)
+		return
+	}
+	m.readMiss(l1, cpu, b, fn)
 }
 
 // Write implements Machine. Only read misses are traced; writes drive
 // protocol state (invalidations) and classification versions.
 func (m *CMP) Write(cpu int, addr uint64, fn trace.FuncID) {
 	b := blockOf(addr)
-	if i, ok := m.l1d[cpu].Lookup(b); ok && m.l1d[cpu].State(i) == cache.Modified {
-		m.l1d[cpu].Touch(i)
+	l1d := &m.l1d[cpu]
+	li, l1hit, mod := l1d.WriteHit(b)
+	if mod {
 		m.cls.NoteWrite(cpu, b)
 		return
 	}
-	// Invalidate every other on-chip copy.
-	m.pres.ForEachHolder(b, cpu, func(peer int) {
+	// Invalidate every other on-chip copy; the writer's own L1 line (and
+	// with it the probe above) is untouched by the peer sweep.
+	holders := m.pres.Holders(b) &^ (1 << uint(cpu))
+	for holders != 0 {
+		peer := bits.TrailingZeros8(holders)
+		holders &^= 1 << uint(peer)
 		m.l1i[peer].Invalidate(b)
 		m.l1d[peer].Invalidate(b)
 		m.pres.Remove(b, peer)
-	})
+	}
 	m.l2.Invalidate(b)
-	if i, ok := m.l1d[cpu].Lookup(b); ok {
-		m.l1d[cpu].SetState(i, cache.Modified)
-		m.l1d[cpu].Touch(i)
+	if l1hit {
+		l1d.SetState(li, cache.Modified)
+		l1d.Touch(li)
 	} else {
-		m.fillL1(cpu, m.l1d[cpu], b, cache.Modified)
+		m.fillL1(cpu, l1d, b, cache.Modified)
 	}
 	m.pres.SetOwner(b, cpu)
 	m.cls.NoteWrite(cpu, b)
@@ -226,10 +245,13 @@ func (m *CMP) Write(cpu int, addr uint64, fn trace.FuncID) {
 
 // invalidateAll removes every on-chip copy of b.
 func (m *CMP) invalidateAll(b uint64) {
-	m.pres.ForEachHolder(b, -1, func(cpu int) {
+	holders := m.pres.Holders(b)
+	for holders != 0 {
+		cpu := bits.TrailingZeros8(holders)
+		holders &^= 1 << uint(cpu)
 		m.l1i[cpu].Invalidate(b)
 		m.l1d[cpu].Invalidate(b)
-	})
+	}
 	m.pres.Clear(b)
 	m.l2.Invalidate(b)
 }
@@ -242,7 +264,8 @@ func (m *CMP) NonAllocStore(cpu int, addr uint64, fn trace.FuncID) {
 	_ = fn
 }
 
-// DMAWrite implements Machine.
+// DMAWrite implements Machine. A zero-size write touches nothing (the
+// block arithmetic would otherwise wrap).
 func (m *CMP) DMAWrite(addr uint64, size uint64) {
 	if size == 0 {
 		return

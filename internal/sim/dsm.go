@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/trace"
@@ -11,29 +13,40 @@ import (
 // directory keeps the L2s coherent. Every read that misses the node's
 // hierarchy is an off-chip miss (whether satisfied by memory or a remote
 // node) and is recorded in the off-chip trace.
+//
+// The hot paths are single-pass: Read/Fetch resolve the (by far most
+// common) L1-hit case with one fused probe+touch and fall into the shared
+// miss path otherwise; each cache level's set is scanned at most once per
+// protocol step; sharer iteration runs as inline bitmask loops. Per-node
+// state lives in one contiguous nodes slice so an access indexes a single
+// struct instead of three parallel pointer slices.
 type DSM struct {
 	ncpu  int
-	l1i   []*cache.Cache
-	l1d   []*cache.Cache
-	l2    []*cache.Cache
+	nodes []dsmNode
 	dir   *coherence.Directory
 	cls   *Classifier
 	off   trace.Trace
 	instr uint64
 }
 
+// dsmNode is one single-core node's private hierarchy.
+type dsmNode struct {
+	l1i, l1d, l2 cache.Cache
+}
+
 // NewDSM builds a multi-chip system of ncpu single-core nodes over a
 // compact address space of nblocks blocks.
 func NewDSM(ncpu int, p CacheParams, nblocks uint64) *DSM {
 	m := &DSM{
-		ncpu: ncpu,
-		dir:  coherence.NewDirectory(nblocks),
-		cls:  NewClassifier(ncpu, nblocks),
+		ncpu:  ncpu,
+		nodes: make([]dsmNode, ncpu),
+		dir:   coherence.NewDirectory(nblocks),
+		cls:   NewClassifier(ncpu, nblocks),
 	}
-	for i := 0; i < ncpu; i++ {
-		m.l1i = append(m.l1i, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
-		m.l1d = append(m.l1d, cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6}))
-		m.l2 = append(m.l2, cache.New(cache.Config{Bytes: p.L2Bytes, Ways: p.L2Ways, BlockBits: 6}))
+	for i := range m.nodes {
+		m.nodes[i].l1i = *cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6})
+		m.nodes[i].l1d = *cache.New(cache.Config{Bytes: p.L1Bytes, Ways: p.L1Ways, BlockBits: 6})
+		m.nodes[i].l2 = *cache.New(cache.Config{Bytes: p.L2Bytes, Ways: p.L2Ways, BlockBits: 6})
 	}
 	m.off.CPUs = ncpu
 	return m
@@ -42,59 +55,50 @@ func NewDSM(ncpu int, p CacheParams, nblocks uint64) *DSM {
 // CPUs implements Machine.
 func (m *DSM) CPUs() int { return m.ncpu }
 
-// OffChip implements Machine.
-func (m *DSM) OffChip() *trace.Trace { return &m.off }
+// OffChip implements Machine. Instruction counts accumulate in a scalar on
+// Tick and are folded into the trace here, keeping the per-step path free
+// of trace-header stores.
+func (m *DSM) OffChip() *trace.Trace {
+	m.off.Instructions = m.instr
+	return &m.off
+}
 
 // IntraChip implements Machine; the DSM has no shared chip.
 func (m *DSM) IntraChip() *trace.Trace { return nil }
 
 // Tick implements Machine.
-func (m *DSM) Tick(cpu int, n uint64) {
-	m.instr += n
-	m.off.Instructions = m.instr
-}
+func (m *DSM) Tick(cpu int, n uint64) { m.instr += n }
 
 // Classifier exposes the classifier (tests).
 func (m *DSM) Classifier() *Classifier { return m.cls }
 
-// fillL1 inserts b into an L1, spilling any dirty victim's state into the
-// (inclusive) L2.
-func (m *DSM) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
-	victim, evicted, _ := l1.Insert(b, st)
+// fillL1 inserts b into an L1 (the caller's probe missed), spilling any
+// dirty victim's state into the (inclusive) L2.
+func (m *DSM) fillL1(n *dsmNode, l1 *cache.Cache, b uint64, st cache.State) {
+	victim, evicted, _ := l1.Fill(b, st)
 	if evicted && victim.State.Dirty() {
 		// Inclusive hierarchy: the victim must be present in the L2.
-		if i, ok := m.l2[cpu].Lookup(victim.Block); ok {
-			m.l2[cpu].SetState(i, cache.Modified)
-		}
+		n.l2.FindSetState(victim.Block, cache.Modified)
 	}
 }
 
 // evictL2 handles an L2 victim: back-invalidate the L1s (inclusion) and
 // update the directory (a dirty victim is written back to memory).
-func (m *DSM) evictL2(cpu int, v cache.Victim) {
-	m.l1i[cpu].Invalidate(v.Block)
-	m.l1d[cpu].Invalidate(v.Block)
+func (m *DSM) evictL2(n *dsmNode, cpu int, v cache.Victim) {
+	n.l1i.Invalidate(v.Block)
+	n.l1d.Invalidate(v.Block)
 	m.dir.RemoveSharer(v.Block, cpu)
 }
 
-// access is the shared read/fetch path. instruction selects the L1I.
-func (m *DSM) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
-	b := blockOf(addr)
-	l1 := m.l1d[cpu]
-	if instruction {
-		l1 = m.l1i[cpu]
-	}
-	if i, ok := l1.Lookup(b); ok {
-		l1.Touch(i)
-		m.cls.NoteRead(cpu, b)
-		return
-	}
-	if i, ok := m.l2[cpu].Lookup(b); ok {
+// readMiss is the shared L1-miss tail of Read and Fetch.
+func (m *DSM) readMiss(n *dsmNode, l1 *cache.Cache, cpu int, b uint64, fn trace.FuncID) {
+	if n.l2.ReadHit(b) {
 		// Node-level hit: not an off-chip miss, not traced (the multi-chip
-		// context traces off-chip misses only).
-		m.l2[cpu].Touch(i)
-		m.fillL1(cpu, l1, b, cache.Shared)
-		m.cls.NoteRead(cpu, b)
+		// context traces off-chip misses only). A resident line implies
+		// this node already observed the current write version (any newer
+		// write or DMA would have invalidated the copy), so the classifier
+		// needs no NoteRead.
+		m.fillL1(n, l1, b, cache.Shared)
 		return
 	}
 	// Off-chip read miss.
@@ -109,31 +113,43 @@ func (m *DSM) access(cpu int, addr uint64, fn trace.FuncID, instruction bool) {
 		Supplier: trace.SupplierMemory,
 	})
 	if remoteDirty {
-		// Remote owner downgrades M -> S and writes back.
-		if i, ok := m.l2[owner].Lookup(b); ok {
-			m.l2[owner].SetState(i, cache.Shared)
-		}
-		if i, ok := m.l1d[owner].Lookup(b); ok {
-			m.l1d[owner].SetState(i, cache.Shared)
-		}
+		// Remote owner downgrades M -> S and writes back. Only remote
+		// caches are touched, so the local L2 probe stays valid.
+		ro := &m.nodes[owner]
+		ro.l2.FindSetState(b, cache.Shared)
+		ro.l1d.FindSetState(b, cache.Shared)
 		m.dir.Downgrade(b)
 	}
 	m.dir.AddSharer(b, cpu)
-	if v, ev, _ := m.l2[cpu].Insert(b, cache.Shared); ev {
-		m.evictL2(cpu, v)
+	if v, ev, _ := n.l2.Fill(b, cache.Shared); ev {
+		m.evictL2(n, cpu, v)
 	}
-	m.fillL1(cpu, l1, b, cache.Shared)
+	// The L2 eviction may have back-invalidated a line of this very L1
+	// set, so the fill must pick its slot from a fresh scan.
+	m.fillL1(n, l1, b, cache.Shared)
 	m.cls.NoteRead(cpu, b)
 }
 
-// Read implements Machine.
+// Read implements Machine. The L1-hit fast path (a resident line implies
+// the classifier already holds the current version, see readMiss) returns
+// after one fused probe+touch.
 func (m *DSM) Read(cpu int, addr uint64, fn trace.FuncID) {
-	m.access(cpu, addr, fn, false)
+	b := blockOf(addr)
+	n := &m.nodes[cpu]
+	if n.l1d.ReadHit(b) {
+		return
+	}
+	m.readMiss(n, &n.l1d, cpu, b, fn)
 }
 
 // Fetch implements Machine.
 func (m *DSM) Fetch(cpu int, addr uint64, fn trace.FuncID) {
-	m.access(cpu, addr, fn, true)
+	b := blockOf(addr)
+	n := &m.nodes[cpu]
+	if n.l1i.ReadHit(b) {
+		return
+	}
+	m.readMiss(n, &n.l1i, cpu, b, fn)
 }
 
 // Write implements Machine. Write misses are simulated for their coherence
@@ -141,38 +157,55 @@ func (m *DSM) Fetch(cpu int, addr uint64, fn trace.FuncID) {
 // traced.
 func (m *DSM) Write(cpu int, addr uint64, fn trace.FuncID) {
 	b := blockOf(addr)
-	if i, ok := m.l1d[cpu].Lookup(b); ok && m.l1d[cpu].State(i) == cache.Modified {
-		m.l1d[cpu].Touch(i)
+	n := &m.nodes[cpu]
+	li, l1hit, mod := n.l1d.WriteHit(b)
+	if mod {
 		m.cls.NoteWrite(cpu, b)
 		return
 	}
-	// Gain exclusivity: invalidate all remote copies.
+	// Gain exclusivity: invalidate all remote copies. Only remote nodes
+	// are touched, so the local L1 probe stays valid across the sweep.
 	m.invalidateRemote(b, cpu)
 	m.dir.SetOwner(b, cpu)
-	if i, ok := m.l2[cpu].Lookup(b); ok {
-		m.l2[cpu].SetState(i, cache.Modified)
-		m.l2[cpu].Touch(i)
-	} else if v, ev, _ := m.l2[cpu].Insert(b, cache.Modified); ev {
-		m.evictL2(cpu, v)
+	if i, hit := n.l2.Probe(b); hit {
+		n.l2.SetState(i, cache.Modified)
+		n.l2.Touch(i)
+	} else if v, ev, _ := n.l2.Fill(b, cache.Modified); ev {
+		m.evictL2(n, cpu, v)
 	}
-	if i, ok := m.l1d[cpu].Lookup(b); ok {
-		m.l1d[cpu].SetState(i, cache.Modified)
-		m.l1d[cpu].Touch(i)
+	if l1hit {
+		// The L2 eviction cannot have displaced b's own L1 line (the
+		// victim is a different block), so the probed line still holds b.
+		n.l1d.SetState(li, cache.Modified)
+		n.l1d.Touch(li)
 	} else {
-		m.fillL1(cpu, m.l1d[cpu], b, cache.Modified)
+		m.fillL1(n, &n.l1d, b, cache.Modified)
 	}
 	m.cls.NoteWrite(cpu, b)
 }
 
 // invalidateRemote removes every cached copy of b outside node keep
-// (keep == -1 invalidates everywhere).
+// (keep == -1 invalidates everywhere), walking the directory's sharer
+// bitmap inline.
 func (m *DSM) invalidateRemote(b uint64, keep int) {
-	m.dir.ForEachSharer(b, keep, func(node int) {
-		m.l1i[node].Invalidate(b)
-		m.l1d[node].Invalidate(b)
-		m.l2[node].Invalidate(b)
+	sharers := m.dir.Sharers(b)
+	if keep >= 0 {
+		sharers &^= 1 << uint(keep)
+	}
+	for sharers != 0 {
+		node := bits.TrailingZeros64(sharers)
+		sharers &^= 1 << uint(node)
+		n := &m.nodes[node]
+		// Inclusive hierarchy: an L1 can only hold what the node's L2
+		// holds, so when the L2 turns out not to have the block (the
+		// directory's sharer set is a superset of residency) the L1 scans
+		// are skipped — the resulting state is identical.
+		if _, held := n.l2.Invalidate(b); held {
+			n.l1i.Invalidate(b)
+			n.l1d.Invalidate(b)
+		}
 		m.dir.RemoveSharer(b, node)
-	})
+	}
 }
 
 // NonAllocStore implements Machine: the store invalidates all cached
@@ -185,8 +218,12 @@ func (m *DSM) NonAllocStore(cpu int, addr uint64, fn trace.FuncID) {
 	_ = fn
 }
 
-// DMAWrite implements Machine.
+// DMAWrite implements Machine. A zero-size write touches nothing (the
+// block arithmetic would otherwise wrap).
 func (m *DSM) DMAWrite(addr uint64, size uint64) {
+	if size == 0 {
+		return
+	}
 	for b := blockOf(addr); b <= blockOf(addr+size-1); b++ {
 		m.invalidateRemote(b, -1)
 		m.dir.Clear(b)

@@ -38,10 +38,14 @@ type Machine interface {
 	Tick(cpu int, n uint64)
 	// CPUs returns the number of processors.
 	CPUs() int
-	// OffChip returns the off-chip read-miss trace.
+	// OffChip returns the off-chip read-miss trace. The trace's
+	// Instructions field is folded from the machine's counter at call
+	// time: re-call OffChip after further Tick activity rather than
+	// reading the field from a retained pointer.
 	OffChip() *trace.Trace
 	// IntraChip returns the trace of L1 misses satisfied on chip, or nil
-	// for machines without a shared chip (the DSM).
+	// for machines without a shared chip (the DSM). The same call-time
+	// Instructions contract as OffChip applies.
 	IntraChip() *trace.Trace
 }
 

@@ -182,7 +182,8 @@ func TestDSMDirectorySharersSuperset(t *testing.T) {
 			for blk := uint64(0); blk < 256; blk++ {
 				sharers := m.dir.Sharers(blk)
 				for c := 0; c < ncpu; c++ {
-					resident := m.l2[c].Contains(blk) || m.l1d[c].Contains(blk) || m.l1i[c].Contains(blk)
+					n := &m.nodes[c]
+					resident := n.l2.Contains(blk) || n.l1d.Contains(blk) || n.l1i.Contains(blk)
 					if resident && sharers&(1<<uint(c)) == 0 {
 						t.Fatalf("step %d: node %d holds block %d but is not a sharer", step, c, blk)
 					}

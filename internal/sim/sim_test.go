@@ -357,3 +357,33 @@ func TestRandomAccessesNeverPanic(t *testing.T) {
 		t.Error("MPKI should be positive")
 	}
 }
+
+func TestDMAWriteZeroSize(t *testing.T) {
+	// Regression: blockOf(addr+size-1) wraps for size == 0, which would
+	// turn the DMA loop bound into ^uint64(0) and sweep the whole address
+	// space. A zero-size DMA must touch nothing on either machine.
+	dsm := NewDSM(2, tinyCaches(), testBlocks)
+	cmp := NewCMP(2, tinyCaches(), testBlocks)
+	dsm.Read(0, addr(42), 0)
+	cmp.Read(0, addr(42), 0)
+	dsm.DMAWrite(addr(42), 0)
+	cmp.DMAWrite(addr(42), 0)
+	// The cached copies must survive: a zero-size write invalidates
+	// nothing and bumps no classifier state.
+	n := dsm.OffChip().Len()
+	dsm.Read(0, addr(42), 0)
+	if dsm.OffChip().Len() != n {
+		t.Error("DSM: zero-size DMA invalidated a cached block")
+	}
+	n = cmp.OffChip().Len()
+	cmp.Read(0, addr(42), 0)
+	if cmp.OffChip().Len() != n {
+		t.Error("CMP: zero-size DMA invalidated a cached block")
+	}
+	// Also must not misclassify the next read of an uncached block as
+	// I/O-coherence.
+	dsm.Read(1, addr(43), 0)
+	if got := lastMiss(dsm.OffChip()).Class; got != trace.Compulsory {
+		t.Errorf("post-zero-DMA first read = %v, want Compulsory", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/memmap"
+	"repro/internal/trace"
 )
 
 // VM models the SPARC/Solaris software MMU-fill path: each CPU has small
@@ -29,6 +30,12 @@ type VM struct {
 	dtlb [][]uint64
 	itlb [][]uint64
 
+	// Trap-handler descriptors resolved once at construction: the miss
+	// paths run on every translated access and must not pay a string-keyed
+	// map lookup per trap.
+	fnDtlbMiss, fnItlbMiss, fnTSBMiss trace.Func
+	fnWinSpill, fnWinFill             trace.Func
+
 	// Stats.
 	TLBMisses, TSBMisses uint64
 }
@@ -43,6 +50,11 @@ func newVM(k *Kernel) *VM {
 		v.dtlb = append(v.dtlb, make([]uint64, k.P.TLBEntries))
 		v.itlb = append(v.itlb, make([]uint64, k.P.TLBEntries))
 	}
+	v.fnDtlbMiss = k.Fn("dtlb_miss")
+	v.fnItlbMiss = k.Fn("itlb_miss")
+	v.fnTSBMiss = k.Fn("sfmmu_tsb_miss")
+	v.fnWinSpill = k.Fn("win_spill")
+	v.fnWinFill = k.Fn("win_fill")
 	return v
 }
 
@@ -57,9 +69,12 @@ func (v *VM) Finalize() {
 	v.maxVPN = pages
 }
 
-// Install hooks the VM and register-window traps into ctx.
+// Install hooks the VM and register-window traps into ctx, handing it the
+// CPU's TLB tag arrays so TLB hits resolve inline without entering the
+// hook.
 func (v *VM) Install(ctx *engine.Ctx) {
 	ctx.InstallVM(v.translate)
+	ctx.InstallTLB(v.dtlb[ctx.CPU], v.itlb[ctx.CPU])
 	ctx.InstallWindows(v.window)
 }
 
@@ -67,10 +82,10 @@ func (v *VM) Install(ctx *engine.Ctx) {
 func (v *VM) translate(ctx *engine.Ctx, addr uint64, instruction bool) {
 	vpn := addr >> memmap.PageBits
 	tlb := v.dtlb[ctx.CPU]
-	handler := "dtlb_miss"
+	h := v.fnDtlbMiss
 	if instruction {
 		tlb = v.itlb[ctx.CPU]
-		handler = "itlb_miss"
+		h = v.fnItlbMiss
 	}
 	idx := vpn & uint64(len(tlb)-1)
 	if tlb[idx] == vpn+1 {
@@ -84,14 +99,13 @@ func (v *VM) translate(ctx *engine.Ctx, addr uint64, instruction bool) {
 	if vpn >= v.maxVPN {
 		panic(fmt.Sprintf("solaris: translation beyond page tables (vpn %d >= %d)", vpn, v.maxVPN))
 	}
-	h := v.k.Fn(handler)
 	tsbIdx := vpn & v.tsbMask
 	ctx.RawRead(v.tsb.Base+tsbIdx*8, h.ID)
 	ctx.AddInstr(12)
 	if v.tsbTags[tsbIdx] != vpn+1 {
 		// TSB miss: fetch the slow handler and walk the page table.
 		v.TSBMisses++
-		walk := v.k.Fn("sfmmu_tsb_miss")
+		walk := v.fnTSBMiss
 		if walk.Code.Size > 0 {
 			ctx.RawFetch(walk.Code.Base, walk.ID)
 		}
@@ -111,11 +125,11 @@ func (v *VM) window(ctx *engine.Ctx, t *engine.TCB, spill bool) {
 	slot := uint64(t.WinDepth/8) % (stackBlocks / 2)
 	base := t.StackBase + slot*2*memmap.BlockSize
 	if spill {
-		f := v.k.Fn("win_spill")
+		f := v.fnWinSpill
 		ctx.RawWrite(base, f.ID)
 		ctx.RawWrite(base+memmap.BlockSize, f.ID)
 	} else {
-		f := v.k.Fn("win_fill")
+		f := v.fnWinFill
 		ctx.RawRead(base, f.ID)
 		ctx.RawRead(base+memmap.BlockSize, f.ID)
 	}

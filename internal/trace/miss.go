@@ -3,6 +3,8 @@
 // function symbol table, and the paper's Table-2 category taxonomy.
 package trace
 
+import "slices"
+
 // MissClass is the paper's off-chip miss classification (Section 4.1),
 // a categorization based on the "four C's" model.
 type MissClass uint8
@@ -88,6 +90,11 @@ type Trace struct {
 
 // Append adds one miss.
 func (t *Trace) Append(m Miss) { t.Misses = append(t.Misses, m) }
+
+// Grow ensures capacity for at least n further misses without
+// reallocation, so collection loops with a known target do not re-double
+// multi-megabyte buffers through Append.
+func (t *Trace) Grow(n int) { t.Misses = slices.Grow(t.Misses, n) }
 
 // Len returns the number of misses collected.
 func (t *Trace) Len() int { return len(t.Misses) }

@@ -223,6 +223,19 @@ func Run(cfg Config) *Result {
 		mach = sim.NewCMP(ncpu, cfg.Scale.caches(), as.Blocks())
 	}
 
+	// Presize the collection buffers so the hot Append path never
+	// re-doubles a multi-megabyte slice mid-run: the construction pass
+	// misses at most on every block of the footprint (compulsory) plus a
+	// replacement/overshoot slack, and warmup and measurement targets are
+	// known exactly.
+	blocks := int(as.Blocks())
+	off := mach.OffChip()
+	off.Grow(blocks + cfg.WarmMisses + cfg.TargetMisses + 4096)
+	it := mach.IntraChip() // nil for the DSM
+	if it != nil {
+		it.Grow(blocks + 4*(cfg.WarmMisses+cfg.TargetMisses))
+	}
+
 	eng := engine.New(mach, k.Sched, k.Sync, cfg.Seed^0x5eed)
 	for cpu := 0; cpu < ncpu; cpu++ {
 		k.VM.Install(eng.Ctx(cpu))
@@ -239,34 +252,33 @@ func Run(cfg Config) *Result {
 	// Warmup: run the engine for WarmMisses *additional* off-chip misses
 	// beyond the construction pass, so measurement starts from scheduler
 	// and cache steady state (the paper warms for 5000+ transactions).
-	off := mach.OffChip()
+	// The stop predicates close over the trace pointers hoisted above, so
+	// each per-step poll is a slice-length compare with no interface call.
 	warmTarget := off.Len() + cfg.WarmMisses
+	off.Grow(cfg.WarmMisses + cfg.TargetMisses + 4096) // no-op unless construction outgrew the estimate
 	eng.Run(func() bool { return off.Len() >= warmTarget })
 	warmOff := off.Len()
-	warmInstr := off.Instructions
+	warmInstr := mach.OffChip().Instructions
 	var warmIntra int
-	if it := mach.IntraChip(); it != nil {
+	if it != nil {
 		warmIntra = it.Len()
 	}
 
 	// Measurement.
 	total := warmOff + cfg.TargetMisses
 	intraCap := warmIntra + 40*cfg.TargetMisses
-	eng.Run(func() bool {
-		if off.Len() >= total {
-			return true
-		}
-		if it := mach.IntraChip(); it != nil && it.Len() >= intraCap {
-			return true
-		}
-		return false
-	})
+	if it != nil {
+		it.Grow(intraCap + 64 - it.Len())
+		eng.Run(func() bool { return off.Len() >= total || it.Len() >= intraCap })
+	} else {
+		eng.Run(func() bool { return off.Len() >= total })
+	}
 
 	res := &Result{
 		Config: cfg,
 		OffChip: &trace.Trace{
-			Misses:       off.Misses[warmOff:],
-			Instructions: off.Instructions - warmInstr,
+			Misses:       copyMisses(off.Misses[warmOff:]),
+			Instructions: mach.OffChip().Instructions - warmInstr,
 			CPUs:         ncpu,
 		},
 		SymTab:    st,
@@ -275,12 +287,21 @@ func Run(cfg Config) *Result {
 		AS:        as,
 		Kernel:    k,
 	}
-	if it := mach.IntraChip(); it != nil {
+	if it != nil {
 		res.IntraChip = &trace.Trace{
-			Misses:       it.Misses[warmIntra:],
-			Instructions: it.Instructions - warmInstr,
+			Misses:       copyMisses(it.Misses[warmIntra:]),
+			Instructions: mach.IntraChip().Instructions - warmInstr,
 			CPUs:         ncpu,
 		}
 	}
 	return res
+}
+
+// copyMisses detaches a measurement window from the collection buffer, so
+// the multi-megabyte warmup prefix is not pinned for the Result's lifetime
+// by a mere re-slice.
+func copyMisses(window []trace.Miss) []trace.Miss {
+	out := make([]trace.Miss, len(window))
+	copy(out, window)
+	return out
 }
