@@ -334,6 +334,51 @@ func BenchmarkAnalysisThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingCollect measures the streaming pipeline end to end:
+// one CollectStreaming per iteration (both machines, three incremental
+// context analyses fed straight from the simulators). Reports misses
+// streamed per second of wall clock and, via -benchmem/ReportAllocs, the
+// allocated bytes per run — which stay flat as the target grows (the
+// O(window) claim; see TestStreamingBoundedMemory). Runs in short mode so
+// the CI bench-smoke artifact tracks the streaming trajectory.
+func BenchmarkStreamingCollect(b *testing.B) {
+	b.ReportAllocs()
+	var misses uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		exp := CollectStreaming(OLTP, Small, int64(i+2), 20000, StreamOptions{})
+		for _, ctx := range Contexts() {
+			h := exp.Context(ctx).Header
+			if h.Misses == 0 {
+				b.Fatal("empty context window")
+			}
+			misses += uint64(h.Misses)
+		}
+	}
+	b.ReportMetric(float64(misses)/time.Since(start).Seconds(), "misses/sec")
+}
+
+// BenchmarkBatchCollect is BenchmarkStreamingCollect's A/B twin on the
+// materialize-then-analyze path, with identical configuration, so the
+// trajectory artifacts record the streaming-vs-batch wall-clock and
+// allocation contrast directly.
+func BenchmarkBatchCollect(b *testing.B) {
+	b.ReportAllocs()
+	var misses uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		exp := Collect(OLTP, Small, int64(i+2), 20000)
+		for _, ctx := range Contexts() {
+			h := exp.Context(ctx).Header
+			if h.Misses == 0 {
+				b.Fatal("empty context window")
+			}
+			misses += uint64(h.Misses)
+		}
+	}
+	b.ReportMetric(float64(misses)/time.Since(start).Seconds(), "misses/sec")
+}
+
 // BenchmarkCollectAll measures the wall clock of the full concurrent
 // experiment pipeline (6 apps x 2 simulations x 3 analyses) at a reduced
 // miss target.

@@ -7,9 +7,16 @@
 // Usage:
 //
 //	tstrace -app oltp -machine multi [-scale small] [-n 1000] [-intra]
+//	tstrace -app oltp -machine multi -stream [-window 5000]
 //
 // -machine both simulates the multi-chip and single-chip organizations
 // concurrently and dumps both traces, multi-chip first.
+//
+// -stream switches to the streaming data path: instead of materializing
+// the trace, the simulator pushes each measurement-window miss into an
+// incremental analyzer sink, and one line of temporal-stream statistics is
+// printed per -window misses as the simulation runs. Peak memory is
+// bounded by the window regardless of -target.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -31,8 +39,10 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "scale: small, medium, large")
 	n := flag.Int("n", 1000, "misses to print (0 = all)")
 	target := flag.Int("target", 20000, "misses to simulate")
-	intra := flag.Bool("intra", false, "dump the intra-chip trace (single-chip only)")
+	intra := flag.Bool("intra", false, "use the intra-chip trace (single-chip only)")
 	seed := flag.Int64("seed", 1, "random seed")
+	stream := flag.Bool("stream", false, "streaming mode: print per-window stream fractions as the simulation runs")
+	window := flag.Int("window", 5000, "misses per analysis window in -stream mode")
 	flag.Parse()
 
 	app, ok := map[string]workload.App{
@@ -60,6 +70,19 @@ func main() {
 		"small": workload.Small, "medium": workload.Medium, "large": workload.Large,
 	}[strings.ToLower(*scaleFlag)]
 
+	if *stream {
+		if len(machines) != 1 {
+			fmt.Fprintln(os.Stderr, "tstrace: -stream requires a single machine (-machine multi or single)")
+			os.Exit(2)
+		}
+		if *window < 2 {
+			fmt.Fprintln(os.Stderr, "tstrace: -window must be at least 2")
+			os.Exit(2)
+		}
+		streamRun(app, machines[0], scale, *seed, *target, *window, *intra)
+		return
+	}
+
 	// Simulate all requested machines concurrently, then dump in order.
 	results := make([]*workload.Result, len(machines))
 	var g par.Group
@@ -80,6 +103,74 @@ func main() {
 			tr = res.IntraChip // guaranteed non-nil: -intra implies single-chip
 		}
 		dump(w, app, machines[i], scale, res, tr, *n)
+	}
+}
+
+// windowSink is the -stream consumer: an incremental analyzer recycled
+// every window misses, printing one statistics line per completed window
+// while the simulation keeps running.
+type windowSink struct {
+	w      *bufio.Writer
+	an     *core.Analyzer
+	cpus   int
+	window int
+
+	idx      int // windows completed
+	inWindow int
+	total    int
+	inStream int
+}
+
+// Append implements trace.Sink.
+func (s *windowSink) Append(m trace.Miss) {
+	if s.inWindow == 0 {
+		s.an.Begin(s.cpus, core.Options{MaxMisses: s.window})
+	}
+	s.an.Feed(m)
+	s.inWindow++
+	if s.inWindow == s.window {
+		s.flush()
+	}
+}
+
+func (s *windowSink) flush() {
+	a := s.an.Finish()
+	_, ns, rc := a.Fractions()
+	for i := range a.State {
+		if a.State[i] != core.NonRepetitive {
+			s.inStream++
+		}
+	}
+	s.total += len(a.Misses)
+	fmt.Fprintf(s.w, "window %-4d misses=%-7d in_streams=%5.1f%% new=%5.1f%% recurring=%5.1f%% rules=%-6d median_len=%.0f\n",
+		s.idx, len(a.Misses), 100*(ns+rc), 100*ns, 100*rc, a.GrammarRules(), a.MedianStreamLength())
+	s.w.Flush() // live output: the simulation keeps running after this line
+	s.idx++
+	s.inWindow = 0
+}
+
+// Finish implements trace.Sink.
+func (s *windowSink) Finish(h trace.Header) {
+	if s.inWindow > 0 {
+		s.flush()
+	}
+	fmt.Fprintf(s.w, "# done: windows=%d misses=%d in_streams=%.1f%% instructions=%d mpki=%.3f\n",
+		s.idx, s.total, 100*float64(s.inStream)/float64(max(s.total, 1)), h.Instructions, h.MPKI())
+}
+
+// streamRun drives one configuration through the streaming data path.
+func streamRun(app workload.App, machine workload.MachineKind, scale workload.Scale,
+	seed int64, target, window int, intra bool) {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# app=%v machine=%v scale=%v target=%d window=%d stream=%s\n",
+		app, machine, scale, target, window, map[bool]string{false: "off-chip", true: "intra-chip"}[intra])
+	sink := &windowSink{w: w, an: core.NewAnalyzer(), cpus: machine.CPUCount(), window: window}
+	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
+	if intra {
+		workload.RunStream(cfg, nil, sink)
+	} else {
+		workload.RunStream(cfg, sink, nil)
 	}
 }
 

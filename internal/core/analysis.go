@@ -98,23 +98,39 @@ type Analysis struct {
 
 // Analyzer runs stream analyses while reusing all heavy intermediate
 // storage across calls: the SEQUITUR grammar's node slab and digram index,
-// the derivation walker's stacks, and the rule- and CPU-indexed scratch of
-// the reuse-distance pass. One Analyzer amortizes allocation to near zero
-// when analyzing many traces; it is not safe for concurrent use (give each
-// goroutine its own, e.g. via a sync.Pool).
+// the stride detector's tables, the derivation walker's stacks, and the
+// rule- and CPU-indexed scratch of the reuse-distance pass. One Analyzer
+// amortizes allocation to near zero when analyzing many traces; it is not
+// safe for concurrent use (give each goroutine its own, e.g. via a
+// sync.Pool).
+//
+// An Analyzer runs in one of two equivalent modes:
+//
+//   - batch: Analyze(tr, opts) over a materialized trace;
+//   - incremental: Begin, then Feed per miss as a producer emits it, then
+//     Finish — the streaming pipeline's form, with peak memory bounded by
+//     the analysis window (Options.MaxMisses) rather than the trace.
+//
+// The stride, per-CPU-position, and grammar passes run online during Feed;
+// the derivation walk (per-miss stream states, instances, length
+// distribution) and the reuse-distance pass need the complete grammar and
+// run at Finish.
 type Analyzer struct {
 	g *sequitur.Grammar
+
+	// Incremental state between Begin and Finish.
+	cur  *Analysis
+	opts Options
+	det  *stride.Detector
 
 	// Walker scratch.
 	topOcc   []int32
 	recStack []bool
 
-	// Reuse-distance scratch: per-CPU miss positions built in one counting
-	// pass, and the last top-level instance index per rule id.
-	cpuCursor []int32
-	cpuOff    []int32
-	cpuPos    []int32
-	lastIdx   []int32
+	// Reuse-distance scratch: per-CPU miss positions accumulated online
+	// during Feed, and the last top-level instance index per rule id.
+	cpuPos  [][]int32
+	lastIdx []int32
 }
 
 // NewAnalyzer returns an Analyzer with empty (lazily grown) storage.
@@ -130,37 +146,124 @@ func Analyze(tr *trace.Trace, opts Options) *Analysis {
 // Analyze runs the complete stream analysis over tr, reusing the
 // Analyzer's internal storage. The returned Analysis owns all of its
 // fields and stays valid across later Analyze calls.
+//
+// Analyze is the batch form of Begin/Feed/Finish: it aliases the (already
+// materialized) trace window instead of accumulating a copy, then runs the
+// same online passes and the same finish-time passes.
 func (an *Analyzer) Analyze(tr *trace.Trace, opts Options) *Analysis {
-	opts = opts.withDefaults()
+	an.Begin(tr.CPUs, opts)
 	misses := tr.Misses
-	if len(misses) > opts.MaxMisses {
-		misses = misses[:opts.MaxMisses]
+	if len(misses) > an.opts.MaxMisses {
+		misses = misses[:an.opts.MaxMisses]
 	}
-	a := &Analysis{
-		Misses:     misses,
-		CPUs:       tr.CPUs,
-		State:      make([]StreamState, len(misses)),
-		Strided:    make([]bool, len(misses)),
+	a := an.cur
+	a.Misses = misses
+	if len(misses) > 0 { // nil for empty input, as the incremental path yields
+		a.Strided = make([]bool, len(misses))
+	}
+	for i := range misses {
+		a.Strided[i] = an.det.Observe(int(misses[i].CPU), misses[i].Addr)
+		an.cpuPos[misses[i].CPU] = append(an.cpuPos[misses[i].CPU], int32(i))
+		an.g.Append(misses[i].Addr)
+	}
+	return an.Finish()
+}
+
+// Begin starts an incremental analysis over a cpus-processor miss stream,
+// resetting the grammar, stride, and scratch state from any previous run.
+func (an *Analyzer) Begin(cpus int, opts Options) {
+	an.opts = opts.withDefaults()
+	an.cur = &Analysis{
+		CPUs:       cpus,
 		LengthDist: &stats.WeightedSample{},
 		ReuseDist:  stats.NewLogHistogram(10),
 	}
-	if len(misses) == 0 {
+	if an.det == nil || an.det.CPUs() != cpus {
+		an.det = stride.New(cpus)
+	} else {
+		an.det.Reset()
+	}
+	if cap(an.cpuPos) < cpus {
+		an.cpuPos = make([][]int32, cpus)
+	}
+	an.cpuPos = an.cpuPos[:cpus]
+	for c := range an.cpuPos {
+		an.cpuPos[c] = an.cpuPos[c][:0]
+	}
+	an.g.Reset()
+}
+
+// Grow pre-sizes the incremental window's storage for n further misses
+// (clamped to the analysis window), so a producer with a known target
+// avoids append re-doubling on the Feed path. Call after Begin.
+func (an *Analyzer) Grow(n int) {
+	a := an.cur
+	if rem := an.opts.MaxMisses - len(a.Misses); n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return
+	}
+	a.Misses = slices.Grow(a.Misses, n)
+	a.Strided = slices.Grow(a.Strided, n)
+}
+
+// Full reports whether the incremental window has reached the analysis
+// bound (Options.MaxMisses): further Feed calls are no-ops, so producers
+// may stop forwarding.
+func (an *Analyzer) Full() bool { return len(an.cur.Misses) >= an.opts.MaxMisses }
+
+// Feed consumes the next miss of the stream, running the online passes
+// (stride classification, per-CPU position accounting, SEQUITUR append).
+// Misses beyond the analysis window (Options.MaxMisses) are dropped, so a
+// producer may keep feeding an already-full analyzer at negligible cost —
+// this is what bounds streaming memory to O(window).
+func (an *Analyzer) Feed(m trace.Miss) {
+	a := an.cur
+	if len(a.Misses) >= an.opts.MaxMisses {
+		return
+	}
+	pos := int32(len(a.Misses))
+	a.Misses = append(a.Misses, m)
+	a.Strided = append(a.Strided, an.det.Observe(int(m.CPU), m.Addr))
+	an.cpuPos[m.CPU] = append(an.cpuPos[m.CPU], pos)
+	an.g.Append(m.Addr)
+}
+
+// FeedAll consumes a batch of consecutive stream records, equivalent to
+// (but cheaper than) calling Feed on each: the window append is one bulk
+// copy and the per-record dispatch disappears, which is what chunked
+// producers (tempstream's streaming sinks) drive.
+func (an *Analyzer) FeedAll(ms []trace.Miss) {
+	a := an.cur
+	if rem := an.opts.MaxMisses - len(a.Misses); len(ms) > rem {
+		if rem <= 0 {
+			return
+		}
+		ms = ms[:rem]
+	}
+	base := int32(len(a.Misses))
+	a.Misses = append(a.Misses, ms...)
+	for i := range ms {
+		a.Strided = append(a.Strided, an.det.Observe(int(ms[i].CPU), ms[i].Addr))
+		an.cpuPos[ms[i].CPU] = append(an.cpuPos[ms[i].CPU], base+int32(i))
+		an.g.Append(ms[i].Addr)
+	}
+}
+
+// Finish completes the analysis begun by Begin: the derivation walk (per-
+// miss stream states, top-level instances, length distribution) and the
+// reuse-distance pass run here, over the grammar the online passes built.
+// The returned Analysis owns all of its fields and stays valid across
+// later Begin/Analyze calls.
+func (an *Analyzer) Finish() *Analysis {
+	a := an.cur
+	an.cur = nil
+	a.State = make([]StreamState, len(a.Misses))
+	if len(a.Misses) == 0 {
 		return a
 	}
-
-	// Stride classification (independent of repetition; Section 4.3).
-	det := stride.New(tr.CPUs)
-	for i := range misses {
-		a.Strided[i] = det.Observe(int(misses[i].CPU), misses[i].Addr)
-	}
-
-	// SEQUITUR over the block-address sequence, reusing the grammar's
-	// storage from the previous trace.
 	g := an.g
-	g.Reset()
-	for i := range misses {
-		g.Append(misses[i].Addr)
-	}
 	a.grammarRules = g.RuleCount()
 
 	// Walk the derivation: mark per-miss stream state and collect
@@ -173,7 +276,7 @@ func (an *Analyzer) Analyze(tr *trace.Trace, opts Options) *Analysis {
 	// Reuse distances between consecutive top-level occurrences of the
 	// same rule: count intervening misses on the processor that observed
 	// the first occurrence (Section 4.5).
-	a.computeReuseDistances(opts, an, g.RuleIDBound())
+	an.computeReuseDistances(a, g.RuleIDBound())
 	return a
 }
 
@@ -238,37 +341,14 @@ func (w *walker) ExitRule(ruleID, pos, length, depth int) {
 	w.recStack = w.recStack[:n]
 }
 
-// computeReuseDistances fills ReuseDist. Per-CPU miss positions are built
-// in one counting pass into a flat rule- and CPU-indexed scratch area owned
-// by the Analyzer, replacing the per-miss slice appends and per-rule map
-// operations of the naive formulation.
-func (a *Analysis) computeReuseDistances(opts Options, an *Analyzer, ruleBound int) {
-	// Counting pass: cpuPos[cpuOff[c]:cpuOff[c+1]] lists the trace
-	// positions of CPU c's misses in ascending order.
-	an.cpuCursor = resetInt32(an.cpuCursor, a.CPUs, 0)
-	for i := range a.Misses {
-		an.cpuCursor[a.Misses[i].CPU]++
-	}
-	an.cpuOff = resetInt32(an.cpuOff, a.CPUs+1, 0)
-	off := int32(0)
-	for c := 0; c < a.CPUs; c++ {
-		an.cpuOff[c] = off
-		off += an.cpuCursor[c]
-		an.cpuCursor[c] = an.cpuOff[c] // becomes the write cursor
-	}
-	an.cpuOff[a.CPUs] = off
-	if cap(an.cpuPos) < len(a.Misses) {
-		an.cpuPos = make([]int32, len(a.Misses))
-	}
-	an.cpuPos = an.cpuPos[:len(a.Misses)]
-	for i := range a.Misses {
-		c := a.Misses[i].CPU
-		an.cpuPos[an.cpuCursor[c]] = int32(i)
-		an.cpuCursor[c]++
-	}
+// computeReuseDistances fills ReuseDist from the per-CPU miss-position
+// lists the online passes accumulated (an.cpuPos[c] lists CPU c's trace
+// positions in ascending order), so no per-rule map operations or counting
+// passes are needed at finish time.
+func (an *Analyzer) computeReuseDistances(a *Analysis, ruleBound int) {
 	countBetween := func(cpu, lo, hi int) uint64 {
 		// misses by cpu in positions [lo, hi)
-		list := an.cpuPos[an.cpuOff[cpu]:an.cpuOff[cpu+1]]
+		list := an.cpuPos[cpu]
 		l, _ := slices.BinarySearch(list, int32(lo))
 		r, _ := slices.BinarySearch(list, int32(hi))
 		return uint64(r - l)
@@ -280,7 +360,7 @@ func (a *Analysis) computeReuseDistances(opts Options, an *Analyzer, ruleBound i
 			prev := &a.Instances[j]
 			firstCPU := int(a.Misses[prev.Pos].CPU)
 			d := countBetween(firstCPU, prev.Pos+prev.Len, inst.Pos)
-			if d <= opts.ReuseTruncate {
+			if d <= an.opts.ReuseTruncate {
 				a.ReuseDist.Add(float64(d), float64(inst.Len))
 			}
 		}

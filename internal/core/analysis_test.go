@@ -230,6 +230,95 @@ func TestAnalyzerReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestIncrementalMatchesBatch is the core streaming≡batch guard at the
+// analyzer level: Begin/Feed/Finish over a stream must reproduce Analyze
+// over the materialized trace field for field, including truncation and
+// analyzer reuse across runs.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func(n, mod, cpus int) *trace.Trace {
+		tr := &trace.Trace{CPUs: cpus}
+		for i := 0; i < n; i++ {
+			var b uint64
+			if rng.Intn(3) == 0 {
+				b = uint64(rng.Intn(1 << 30)) // noise
+			} else {
+				b = uint64(i % mod) // loops
+			}
+			tr.Append(trace.Miss{Addr: b << 6, CPU: uint8(rng.Intn(cpus))})
+		}
+		return tr
+	}
+	cases := []struct {
+		tr   *trace.Trace
+		opts Options
+	}{
+		{mkTrace(1, 2, 3, 4, 1, 2, 3, 4), Options{}},
+		{mkTrace(), Options{}},
+		{mk(3000, 41, 4), Options{}},
+		{mk(5000, 23, 2), Options{MaxMisses: 1200}}, // stream longer than the window
+		{mk(800, 17, 16), Options{ReuseTruncate: 50}},
+	}
+	an := NewAnalyzer()
+	for i, c := range cases {
+		an.Begin(c.tr.CPUs, c.opts)
+		// Alternate per-record Feed and randomly-sized FeedAll chunks, as a
+		// chunked producer would.
+		for rest := c.tr.Misses; len(rest) > 0; {
+			if rng.Intn(2) == 0 {
+				an.Feed(rest[0])
+				rest = rest[1:]
+			} else {
+				n := 1 + rng.Intn(len(rest))
+				an.FeedAll(rest[:n])
+				rest = rest[n:]
+			}
+		}
+		got := an.Finish()
+		want := Analyze(c.tr, c.opts)
+		if !reflect.DeepEqual(got.State, want.State) ||
+			!reflect.DeepEqual(got.Instances, want.Instances) ||
+			!reflect.DeepEqual(got.Strided, want.Strided) {
+			t.Fatalf("case %d: incremental analysis diverged from batch", i)
+		}
+		if len(got.Misses) != len(want.Misses) {
+			t.Fatalf("case %d: window %d vs %d misses", i, len(got.Misses), len(want.Misses))
+		}
+		for j := range got.Misses {
+			if got.Misses[j] != want.Misses[j] {
+				t.Fatalf("case %d: miss %d differs", i, j)
+			}
+		}
+		if !reflect.DeepEqual(got.ReuseDist.Buckets(), want.ReuseDist.Buckets()) {
+			t.Fatalf("case %d: reuse-distance histograms differ", i)
+		}
+		if got.MedianStreamLength() != want.MedianStreamLength() ||
+			got.GrammarRules() != want.GrammarRules() {
+			t.Fatalf("case %d: summary stats differ", i)
+		}
+	}
+}
+
+// TestFeedBeyondWindowAllocatesNothing pins the O(window) memory bound:
+// once the analysis window is full, further Feed calls are free — the
+// producer can keep streaming an arbitrarily long trace without growing
+// the analyzer.
+func TestFeedBeyondWindowAllocatesNothing(t *testing.T) {
+	an := NewAnalyzer()
+	an.Begin(2, Options{MaxMisses: 500})
+	for i := 0; i < 500; i++ {
+		an.Feed(trace.Miss{Addr: uint64(i%37) << 6, CPU: uint8(i % 2)})
+	}
+	m := trace.Miss{Addr: 99 << 6, CPU: 1}
+	if n := testing.AllocsPerRun(200, func() { an.Feed(m) }); n != 0 {
+		t.Errorf("Feed beyond the window allocated %v objects/op, want 0", n)
+	}
+	a := an.Finish()
+	if len(a.Misses) != 500 {
+		t.Errorf("window holds %d misses, want 500", len(a.Misses))
+	}
+}
+
 func TestInstancesCoverStreamMisses(t *testing.T) {
 	// Property: total instance length equals the number of in-stream
 	// misses (top-level instances partition stream-covered positions).

@@ -12,6 +12,15 @@
 // paper's methodology: a prefetch is counted as covering a miss if the
 // missed address was among the lookahead addresses issued on an earlier
 // miss and has not been evicted from the (finite) prefetch buffer since.
+//
+// Evaluation runs incrementally: an Evaluator consumes one miss at a time
+// (Step), so the streaming pipeline can drive it directly from the
+// simulator; Evaluate is the batch wrapper over a materialized trace. The
+// hot structures are flat: the history is a power-of-two ring addressed by
+// absolute position, the address-correlating index and the prefetch
+// buffer are open-addressed hash tables, and the buffer's FIFO order is a
+// ring — the same slab-and-ring pattern as internal/sequitur, with no map
+// operations on the per-miss path.
 package prefetch
 
 import (
@@ -68,23 +77,196 @@ func (r Result) Accuracy() float64 {
 	return float64(r.Used) / float64(r.Issued)
 }
 
-// engine is one prefetcher instance.
+// addrTable is a flat open-addressed hash table from block addresses to
+// int64 payloads (history positions for the index; unused for the buffer,
+// which needs only set semantics), with linear probing and tombstone
+// deletion — the same design as sequitur's digram table. Addresses may
+// legitimately be zero, so slot occupancy lives in the value (tabEmpty /
+// tabDead sentinels), never the key.
+type addrTable struct {
+	keys []uint64
+	vals []int64 // >= 0: payload; tabEmpty / tabDead otherwise
+	used int     // live + tombstones
+	live int
+}
+
+const (
+	tabEmpty = int64(-1)
+	tabDead  = int64(-2)
+	tabMin   = 64
+)
+
+func newAddrTable() addrTable {
+	t := addrTable{
+		keys: make([]uint64, tabMin),
+		vals: make([]int64, tabMin),
+	}
+	for i := range t.vals {
+		t.vals[i] = tabEmpty
+	}
+	return t
+}
+
+// slot mixes the key over the table's current (power-of-two) size.
+func (t *addrTable) slot(key uint64) uint32 {
+	return uint32((key*0x9E3779B97F4A7C15)>>32) & uint32(len(t.keys)-1)
+}
+
+func (t *addrTable) get(key uint64) (int64, bool) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			return 0, false
+		}
+		if v != tabDead && t.keys[i] == key {
+			return v, true
+		}
+	}
+}
+
+func (t *addrTable) has(key uint64) bool {
+	_, ok := t.get(key)
+	return ok
+}
+
+// set inserts or overwrites the entry for key.
+func (t *addrTable) set(key uint64, val int64) {
+	if 4*(t.used+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	firstDead := int64(-1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			if firstDead >= 0 {
+				i = uint32(firstDead) // reuse the tombstone; used unchanged
+			} else {
+				t.used++
+			}
+			t.keys[i] = key
+			t.vals[i] = val
+			t.live++
+			return
+		}
+		if v == tabDead {
+			if firstDead < 0 {
+				firstDead = int64(i)
+			}
+			continue
+		}
+		if t.keys[i] == key {
+			t.vals[i] = val
+			return
+		}
+	}
+}
+
+func (t *addrTable) del(key uint64) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		v := t.vals[i]
+		if v == tabEmpty {
+			return
+		}
+		if v != tabDead && t.keys[i] == key {
+			t.vals[i] = tabDead
+			t.live--
+			return
+		}
+	}
+}
+
+// grow rehashes into a table sized for the live entries, clearing
+// tombstones.
+func (t *addrTable) grow() {
+	size := len(t.keys)
+	if 2*t.live >= size {
+		size *= 2 // genuinely full: double
+	} // else: same size, just purge tombstones
+	ok, ov := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]int64, size)
+	for i := range t.vals {
+		t.vals[i] = tabEmpty
+	}
+	t.used, t.live = 0, 0
+	mask := uint32(size - 1)
+	for i, v := range ov {
+		if v < 0 {
+			continue
+		}
+		key := ok[i]
+		for j := t.slot(key); ; j = (j + 1) & mask {
+			if t.vals[j] == tabEmpty {
+				t.keys[j] = key
+				t.vals[j] = v
+				t.used++
+				t.live++
+				break
+			}
+		}
+	}
+}
+
+// addrRing is a growable power-of-two FIFO of block addresses.
+type addrRing struct {
+	buf  []uint64
+	head int // index of the oldest entry
+	n    int
+}
+
+func (r *addrRing) push(v uint64) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = tabMin
+		}
+		nb := make([]uint64, size)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *addrRing) pop() uint64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// engine is one prefetcher instance. The global history buffer is a ring
+// addressed by absolute miss position: position p lives at hist[p&mask],
+// positions [head, head+count) are retained, and the index maps each
+// address to the absolute position of its most recent occurrence.
 type engine struct {
-	cfg     Config
-	history []uint64       // global history buffer (miss addresses)
-	index   map[uint64]int // address -> most recent history position
-	buffer  map[uint64]int // prefetched block -> issue order (for FIFO eviction)
-	fifo    []uint64       // issue order of buffered blocks
-	headPos int            // history eviction cursor (ring base index)
+	cfg    Config
+	hist   []uint64  // power-of-two ring of recorded addresses
+	head   int       // absolute position of the oldest retained entry
+	count  int       // retained entries
+	index  addrTable // address -> most recent absolute history position
+	buffer addrTable // prefetched blocks outstanding (set semantics)
+	fifo   addrRing  // issue order of buffered blocks (may hold stale entries)
 }
 
 func newEngine(cfg Config) *engine {
 	return &engine{
 		cfg:    cfg,
-		index:  make(map[uint64]int),
-		buffer: make(map[uint64]int),
+		hist:   make([]uint64, tabMin),
+		index:  newAddrTable(),
+		buffer: newAddrTable(),
 	}
 }
+
+// histAt returns the recorded address at absolute position p, which must
+// lie in [head, head+count).
+func (e *engine) histAt(p int) uint64 { return e.hist[p&(len(e.hist)-1)] }
 
 // observe processes one access from the baseline miss trace: check the
 // buffer, and on a (still-)miss consult the history and issue lookahead
@@ -95,42 +277,42 @@ func newEngine(cfg Config) *engine {
 // cost (Section 4.4).
 func (e *engine) observe(addr uint64, r *Result) {
 	// 1. Did an earlier prefetch cover this miss?
-	if _, ok := e.buffer[addr]; ok {
+	if e.buffer.has(addr) {
 		r.Covered++
 		r.Used++
-		delete(e.buffer, addr)
+		e.buffer.del(addr)
 		e.record(addr)
 		return
 	}
 
 	// 2. Address-correlating lookup: find this address's previous
 	// occurrence and prefetch the Depth misses that followed it.
-	if pos, ok := e.index[addr]; ok {
+	if pos, ok := e.index.get(addr); ok {
 		r.LookupHits++
-		base := pos - e.headPos // position within the current slice
 		for i := 1; i <= e.cfg.Depth; i++ {
-			j := base + i
-			if j < 0 || j >= len(e.history) {
+			j := int(pos) + i
+			if j < e.head || j >= e.head+e.count {
 				break
 			}
-			p := e.history[j]
+			p := e.histAt(j)
 			if p == addr {
 				continue
 			}
-			if _, buffered := e.buffer[p]; buffered {
+			if e.buffer.has(p) {
 				continue
 			}
-			e.buffer[p] = r.Issued
-			e.fifo = append(e.fifo, p)
+			e.buffer.set(p, 0)
+			e.fifo.push(p)
 			r.Issued++
 		}
-		// Enforce the buffer bound FIFO (oldest unused prefetch dropped).
+		// Enforce the buffer bound FIFO (oldest unused prefetch dropped;
+		// fifo entries whose block was covered meanwhile are stale and
+		// skipped).
 		if e.cfg.BufferBlocks > 0 {
-			for len(e.buffer) > e.cfg.BufferBlocks && len(e.fifo) > 0 {
-				victim := e.fifo[0]
-				e.fifo = e.fifo[1:]
-				if _, ok := e.buffer[victim]; ok {
-					delete(e.buffer, victim)
+			for e.buffer.live > e.cfg.BufferBlocks && e.fifo.n > 0 {
+				victim := e.fifo.pop()
+				if e.buffer.has(victim) {
+					e.buffer.del(victim)
 					r.Discarded++
 				}
 			}
@@ -141,45 +323,81 @@ func (e *engine) observe(addr uint64, r *Result) {
 	e.record(addr)
 }
 
-// record appends one observed address to the global history buffer.
+// record appends one observed address to the global history buffer,
+// evicting the oldest retained entry once the configured bound is reached.
 func (e *engine) record(addr uint64) {
-	e.index[addr] = e.headPos + len(e.history)
-	e.history = append(e.history, addr)
-	if e.cfg.HistoryLen > 0 && len(e.history) > e.cfg.HistoryLen {
-		// Drop the oldest entry; stale index entries are detected by
-		// range checks during lookup.
-		old := e.history[0]
-		if e.index[old] == e.headPos {
-			delete(e.index, old)
+	if e.cfg.HistoryLen > 0 && e.count == e.cfg.HistoryLen {
+		// Drop the oldest entry; its index slot is removed only if no
+		// newer occurrence of the same address has overwritten it.
+		old := e.histAt(e.head)
+		if v, ok := e.index.get(old); ok && int(v) == e.head {
+			e.index.del(old)
 		}
-		e.history = e.history[1:]
-		e.headPos++
+		e.head++
+		e.count--
 	}
+	if e.count == len(e.hist) {
+		// Re-place every retained entry under the doubled mask, keeping
+		// absolute positions stable.
+		nb := make([]uint64, len(e.hist)*2)
+		for p := e.head; p < e.head+e.count; p++ {
+			nb[p&(len(nb)-1)] = e.histAt(p)
+		}
+		e.hist = nb
+	}
+	pos := e.head + e.count
+	e.index.set(addr, int64(pos))
+	e.hist[pos&(len(e.hist)-1)] = addr
+	e.count++
 }
+
+// Evaluator runs a configured prefetcher incrementally: Step consumes one
+// miss at a time (in trace order), Result reports the counters accumulated
+// so far. The streaming collection pipeline drives an Evaluator directly
+// from the simulator's miss stream; Evaluate is the batch wrapper.
+type Evaluator struct {
+	cfg     Config
+	shared  *engine
+	engines []*engine // per-CPU engines, allocated on first sight (PerCPU)
+	res     Result
+}
+
+// NewEvaluator returns an Evaluator for cfg with empty history.
+func NewEvaluator(cfg Config) *Evaluator {
+	cfg = cfg.withDefaults()
+	ev := &Evaluator{cfg: cfg}
+	if !cfg.PerCPU {
+		ev.shared = newEngine(cfg)
+	}
+	return ev
+}
+
+// Step consumes the next miss of the stream.
+func (ev *Evaluator) Step(m trace.Miss) {
+	ev.res.Misses++
+	e := ev.shared
+	if ev.cfg.PerCPU {
+		if int(m.CPU) >= len(ev.engines) {
+			ev.engines = append(ev.engines, make([]*engine, int(m.CPU)+1-len(ev.engines))...)
+		}
+		if e = ev.engines[m.CPU]; e == nil {
+			e = newEngine(ev.cfg)
+			ev.engines[m.CPU] = e
+		}
+	}
+	e.observe(m.Addr, &ev.res)
+}
+
+// Result returns the counters accumulated so far.
+func (ev *Evaluator) Result() Result { return ev.res }
 
 // Evaluate runs the configured prefetcher over tr and reports coverage.
 func Evaluate(tr *trace.Trace, cfg Config) Result {
-	cfg = cfg.withDefaults()
-	var r Result
-	r.Misses = len(tr.Misses)
-	if cfg.PerCPU {
-		engines := make(map[uint8]*engine)
-		for i := range tr.Misses {
-			m := tr.Misses[i]
-			e := engines[m.CPU]
-			if e == nil {
-				e = newEngine(cfg)
-				engines[m.CPU] = e
-			}
-			e.observe(m.Addr, &r)
-		}
-		return r
-	}
-	e := newEngine(cfg)
+	ev := NewEvaluator(cfg)
 	for i := range tr.Misses {
-		e.observe(tr.Misses[i].Addr, &r)
+		ev.Step(tr.Misses[i])
 	}
-	return r
+	return ev.Result()
 }
 
 // DepthSweep evaluates several lookahead depths over the same trace,

@@ -141,3 +141,168 @@ func TestEmptyTrace(t *testing.T) {
 		t.Error("empty trace must yield zero metrics")
 	}
 }
+
+func TestStepMatchesEvaluate(t *testing.T) {
+	seq := []uint64{5, 6, 7, 8, 9}
+	tr := mkTrace(0, repeatSeq(6, seq...)...)
+	cfg := Config{Depth: 4, HistoryLen: 16, BufferBlocks: 8}
+	ev := NewEvaluator(cfg)
+	for i := range tr.Misses {
+		ev.Step(tr.Misses[i])
+	}
+	if got, want := ev.Result(), Evaluate(tr, cfg); got != want {
+		t.Errorf("incremental result %+v != batch %+v", got, want)
+	}
+}
+
+// --- Reference model ----------------------------------------------------
+
+// refEngine is the original map/slice implementation of the prefetch
+// engine, kept verbatim as the behavioral reference for the flat
+// open-addressed-table + ring engine on the hot path.
+type refEngine struct {
+	cfg     Config
+	history []uint64
+	index   map[uint64]int
+	buffer  map[uint64]int
+	fifo    []uint64
+	headPos int
+}
+
+func newRefEngine(cfg Config) *refEngine {
+	return &refEngine{cfg: cfg, index: make(map[uint64]int), buffer: make(map[uint64]int)}
+}
+
+func (e *refEngine) observe(addr uint64, r *Result) {
+	if _, ok := e.buffer[addr]; ok {
+		r.Covered++
+		r.Used++
+		delete(e.buffer, addr)
+		e.record(addr)
+		return
+	}
+	if pos, ok := e.index[addr]; ok {
+		r.LookupHits++
+		base := pos - e.headPos
+		for i := 1; i <= e.cfg.Depth; i++ {
+			j := base + i
+			if j < 0 || j >= len(e.history) {
+				break
+			}
+			p := e.history[j]
+			if p == addr {
+				continue
+			}
+			if _, buffered := e.buffer[p]; buffered {
+				continue
+			}
+			e.buffer[p] = r.Issued
+			e.fifo = append(e.fifo, p)
+			r.Issued++
+		}
+		if e.cfg.BufferBlocks > 0 {
+			for len(e.buffer) > e.cfg.BufferBlocks && len(e.fifo) > 0 {
+				victim := e.fifo[0]
+				e.fifo = e.fifo[1:]
+				if _, ok := e.buffer[victim]; ok {
+					delete(e.buffer, victim)
+					r.Discarded++
+				}
+			}
+		}
+	}
+	e.record(addr)
+}
+
+func (e *refEngine) record(addr uint64) {
+	e.index[addr] = e.headPos + len(e.history)
+	e.history = append(e.history, addr)
+	if e.cfg.HistoryLen > 0 && len(e.history) > e.cfg.HistoryLen {
+		old := e.history[0]
+		if e.index[old] == e.headPos {
+			delete(e.index, old)
+		}
+		e.history = e.history[1:]
+		e.headPos++
+	}
+}
+
+func refEvaluate(tr *trace.Trace, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	var r Result
+	r.Misses = len(tr.Misses)
+	if cfg.PerCPU {
+		engines := make(map[uint8]*refEngine)
+		for i := range tr.Misses {
+			m := tr.Misses[i]
+			e := engines[m.CPU]
+			if e == nil {
+				e = newRefEngine(cfg)
+				engines[m.CPU] = e
+			}
+			e.observe(m.Addr, &r)
+		}
+		return r
+	}
+	e := newRefEngine(cfg)
+	for i := range tr.Misses {
+		e.observe(tr.Misses[i].Addr, &r)
+	}
+	return r
+}
+
+// TestFlatEngineMatchesReference drives the flat engine and the map-based
+// reference over randomized stream-heavy traces across the config space
+// (bounded/unbounded history and buffer, shared/per-CPU) and requires
+// identical counters.
+func TestFlatEngineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	mkRandom := func(n, cpus int) *trace.Trace {
+		tr := &trace.Trace{CPUs: cpus}
+		// Mixture of recurring streams (with varying heads and lengths),
+		// address re-use inside streams, and noise — the cases that stress
+		// stale fifo entries, index overwrites, and eviction order.
+		streams := make([][]uint64, 12)
+		for s := range streams {
+			l := 2 + rng.Intn(30)
+			streams[s] = make([]uint64, l)
+			for i := range streams[s] {
+				streams[s][i] = uint64(rng.Intn(4000))
+			}
+		}
+		for tr.Len() < n {
+			switch rng.Intn(4) {
+			case 0: // noise burst
+				for i := 0; i < rng.Intn(20); i++ {
+					tr.Append(trace.Miss{Addr: uint64(rng.Intn(1<<26)) << 6, CPU: uint8(rng.Intn(cpus))})
+				}
+			default: // one stream occurrence on one CPU
+				cpu := uint8(rng.Intn(cpus))
+				for _, b := range streams[rng.Intn(len(streams))] {
+					tr.Append(trace.Miss{Addr: b << 6, CPU: cpu})
+				}
+			}
+		}
+		return tr
+	}
+	configs := []Config{
+		{},
+		{Depth: 2},
+		{Depth: 16, HistoryLen: 100},
+		{Depth: 8, HistoryLen: 1000, BufferBlocks: 16},
+		{Depth: 8, BufferBlocks: 4},
+		{Depth: 8, HistoryLen: 64, BufferBlocks: 8, PerCPU: true},
+		{Depth: 64, HistoryLen: 1}, // degenerate history
+		{Depth: 4, PerCPU: true},
+	}
+	for trial := 0; trial < 4; trial++ {
+		tr := mkRandom(3000+rng.Intn(2000), 1+rng.Intn(4))
+		for _, cfg := range configs {
+			got := Evaluate(tr, cfg)
+			want := refEvaluate(tr, cfg)
+			if got != want {
+				t.Fatalf("trial %d cfg %+v: flat engine %+v != reference %+v", trial, cfg, got, want)
+			}
+		}
+	}
+}

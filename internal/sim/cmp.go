@@ -28,15 +28,17 @@ import (
 // most once per protocol step, and holder iteration runs as inline
 // bitmask loops over the presence vector.
 type CMP struct {
-	ncpu  int
-	l1i   []cache.Cache
-	l1d   []cache.Cache
-	l2    *cache.Cache
-	pres  *coherence.Presence
-	cls   *Classifier
-	off   trace.Trace
-	intra trace.Trace
-	instr uint64
+	ncpu      int
+	l1i       []cache.Cache
+	l1d       []cache.Cache
+	l2        *cache.Cache
+	pres      *coherence.Presence
+	cls       *Classifier
+	off       trace.Trace
+	intra     trace.Trace
+	offSink   trace.Sink // destination of off-chip records; defaults to &off
+	intraSink trace.Sink // destination of intra-chip records; defaults to &intra
+	instr     uint64
 }
 
 // NewCMP builds a single-chip system with ncpu cores over a compact
@@ -54,11 +56,25 @@ func NewCMP(ncpu int, p CacheParams, nblocks uint64) *CMP {
 	}
 	m.off.CPUs = ncpu
 	m.intra.CPUs = ncpu
+	m.offSink = &m.off
+	m.intraSink = &m.intra
 	return m
 }
 
 // CPUs implements Machine.
 func (m *CMP) CPUs() int { return m.ncpu }
+
+// SetSinks implements Machine.
+func (m *CMP) SetSinks(off, intra trace.Sink) {
+	if off == nil {
+		off = &m.off
+	}
+	if intra == nil {
+		intra = &m.intra
+	}
+	m.offSink = off
+	m.intraSink = intra
+}
 
 // OffChip implements Machine; see DSM.OffChip for the lazy instruction
 // fold.
@@ -115,7 +131,7 @@ func (m *CMP) fillL1(cpu int, l1 *cache.Cache, b uint64, st cache.State) {
 
 // intraMiss records an L1 miss satisfied on chip.
 func (m *CMP) intraMiss(cpu int, b uint64, fn trace.FuncID, class trace.MissClass, sup trace.Supplier) {
-	m.intra.Append(trace.Miss{
+	m.intraSink.Append(trace.Miss{
 		Addr:     b << 6,
 		Func:     fn,
 		CPU:      uint8(cpu),
@@ -172,7 +188,7 @@ func (m *CMP) readMiss(l1 *cache.Cache, cpu int, b uint64, fn trace.FuncID) {
 		} else {
 			// Off-chip miss.
 			class := m.cls.ClassifyRead(cpu, b, false, true)
-			m.off.Append(trace.Miss{
+			m.offSink.Append(trace.Miss{
 				Addr:     b << 6,
 				Func:     fn,
 				CPU:      uint8(cpu),

@@ -21,12 +21,13 @@ import (
 // state lives in one contiguous nodes slice so an access indexes a single
 // struct instead of three parallel pointer slices.
 type DSM struct {
-	ncpu  int
-	nodes []dsmNode
-	dir   *coherence.Directory
-	cls   *Classifier
-	off   trace.Trace
-	instr uint64
+	ncpu    int
+	nodes   []dsmNode
+	dir     *coherence.Directory
+	cls     *Classifier
+	off     trace.Trace
+	offSink trace.Sink // destination of off-chip records; defaults to &off
+	instr   uint64
 }
 
 // dsmNode is one single-core node's private hierarchy.
@@ -49,11 +50,22 @@ func NewDSM(ncpu int, p CacheParams, nblocks uint64) *DSM {
 		m.nodes[i].l2 = *cache.New(cache.Config{Bytes: p.L2Bytes, Ways: p.L2Ways, BlockBits: 6})
 	}
 	m.off.CPUs = ncpu
+	m.offSink = &m.off
 	return m
 }
 
 // CPUs implements Machine.
 func (m *DSM) CPUs() int { return m.ncpu }
+
+// SetSinks implements Machine; the DSM has no intra-chip stream, so intra
+// is ignored.
+func (m *DSM) SetSinks(off, intra trace.Sink) {
+	if off == nil {
+		off = &m.off
+	}
+	m.offSink = off
+	_ = intra
+}
 
 // OffChip implements Machine. Instruction counts accumulate in a scalar on
 // Tick and are folded into the trace here, keeping the per-step path free
@@ -105,7 +117,7 @@ func (m *DSM) readMiss(n *dsmNode, l1 *cache.Cache, cpu int, b uint64, fn trace.
 	owner := m.dir.Owner(b)
 	remoteDirty := owner >= 0 && owner != cpu
 	class := m.cls.ClassifyRead(cpu, b, remoteDirty, false)
-	m.off.Append(trace.Miss{
+	m.offSink.Append(trace.Miss{
 		Addr:     b << 6,
 		Func:     fn,
 		CPU:      uint8(cpu),

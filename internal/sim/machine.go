@@ -47,6 +47,13 @@ type Machine interface {
 	// for machines without a shared chip (the DSM). The same call-time
 	// Instructions contract as OffChip applies.
 	IntraChip() *trace.Trace
+	// SetSinks reroutes miss records: off receives off-chip read misses,
+	// intra receives on-chip-satisfied L1 misses (ignored by machines
+	// without a shared chip). A nil sink restores the machine-owned
+	// materializing trace for that stream. Producers never call Finish on
+	// the machine's behalf — whoever drives the simulation owns the
+	// end-of-stream header fold.
+	SetSinks(off, intra trace.Sink)
 }
 
 // CacheParams sizes one node's (or the chip's) hierarchy.

@@ -41,6 +41,19 @@ func New(ncpu int) *Detector {
 	return &Detector{tables: t}
 }
 
+// CPUs returns the processor count the detector was built for.
+func (d *Detector) CPUs() int { return len(d.tables) }
+
+// Reset clears all tracking state while keeping the per-CPU tables, so one
+// detector can be reused across traces without reallocating.
+func (d *Detector) Reset() {
+	for _, t := range d.tables {
+		for i := range t {
+			t[i] = entry{}
+		}
+	}
+}
+
 // Observe feeds the next miss address on cpu and reports whether it is
 // stride-predictable.
 func (d *Detector) Observe(cpu int, addr uint64) bool {

@@ -1,0 +1,75 @@
+package trace
+
+// Header carries the trace-level totals a producer folds into its sinks
+// when a stream of misses ends: how many records were emitted, how many
+// instructions retired across all CPUs while they were collected, and the
+// processor count — everything a consumer needs to express rates (MPKI)
+// without having materialized the records.
+type Header struct {
+	Misses       int
+	Instructions uint64
+	CPUs         int
+}
+
+// MPKI returns misses per 1000 instructions for the emitted window.
+func (h Header) MPKI() float64 {
+	if h.Instructions == 0 {
+		return 0
+	}
+	return float64(h.Misses) * 1000 / float64(h.Instructions)
+}
+
+// Sink is a push-based consumer of classified misses. Producers (the
+// machine simulators, via the workload runner's measurement gate) call
+// Append once per record in trace order and Finish exactly once at end of
+// stream, folding the final header. Sinks are the composition point of the
+// streaming data path: a *Trace is the materializing Sink, analyses and
+// prefetcher evaluations are incremental Sinks, and Tee fans one stream
+// out to several consumers.
+//
+// A Sink is driven from a single goroutine; implementations need no
+// internal locking.
+type Sink interface {
+	// Append consumes the next miss record.
+	Append(m Miss)
+	// Finish marks end of stream and delivers the stream's header.
+	Finish(h Header)
+}
+
+// Trace is the materializing Sink: Append collects records and Finish
+// folds the header into the Instructions/CPUs fields.
+var _ Sink = (*Trace)(nil)
+
+// Finish implements Sink.
+func (t *Trace) Finish(h Header) {
+	t.Instructions = h.Instructions
+	t.CPUs = h.CPUs
+}
+
+// Tee is a Sink combinator that forwards every record (and the final
+// header) to each of its elements in order.
+type Tee []Sink
+
+// Append implements Sink.
+func (t Tee) Append(m Miss) {
+	for _, s := range t {
+		s.Append(m)
+	}
+}
+
+// Finish implements Sink.
+func (t Tee) Finish(h Header) {
+	for _, s := range t {
+		s.Finish(h)
+	}
+}
+
+// Discard is a Sink that drops everything; producers that require a
+// non-nil sink can be pointed at it.
+type Discard struct{}
+
+// Append implements Sink.
+func (Discard) Append(Miss) {}
+
+// Finish implements Sink.
+func (Discard) Finish(Header) {}

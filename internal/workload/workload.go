@@ -173,8 +173,67 @@ func (b *builder) addThread(t engine.Thread, name string, cpu int) {
 	b.threads = append(b.threads, pendingThread{t, name, cpu})
 }
 
-// Run executes one configuration end to end and returns its traces.
+// windowGate sits between a machine and the measurement sink: it counts
+// every record the simulation emits (construction, warmup, measurement
+// alike — the engine's stop predicates poll that count as one int load)
+// and forwards records to the downstream sink only once opened at the
+// measurement boundary. The warmup prefix is therefore never materialized
+// anywhere; the batch path's post-hoc window copy is gone.
+type windowGate struct {
+	sink  trace.Sink // nil while the gate is closed
+	total int        // records seen since the start of the simulation
+	kept  int        // records forwarded since the gate opened
+}
+
+// Append implements trace.Sink.
+func (g *windowGate) Append(m trace.Miss) {
+	g.total++
+	if g.sink != nil {
+		g.sink.Append(m)
+		g.kept++
+	}
+}
+
+// Finish implements trace.Sink. The workload runner folds headers into the
+// measurement sinks itself (it owns the warmup-adjusted instruction
+// counts), so a gate never forwards Finish.
+func (g *windowGate) Finish(trace.Header) {}
+
+// Run executes one configuration end to end and returns its traces. It is
+// the batch form of RunStream: the measurement sinks are materializing
+// traces, presized to the measurement window.
 func Run(cfg Config) *Result {
+	off := &trace.Trace{}
+	var intra *trace.Trace
+	var intraSink trace.Sink
+	if cfg.Machine == SingleChip {
+		intra = &trace.Trace{}
+		intraSink = intra
+	}
+	res := runSinks(cfg, off, intraSink)
+	res.OffChip = off
+	res.IntraChip = intra
+	return res
+}
+
+// RunStream executes one configuration end to end, emitting the
+// measurement-window records into the given sinks instead of materializing
+// traces: each sink receives its window's misses in trace order followed
+// by one Finish carrying the window header (record count, instructions
+// retired during measurement, CPU count). Either sink may be nil to
+// discard that stream; intra is ignored for MultiChip runs, which have no
+// intra-chip stream. The returned Result carries everything but the
+// traces (OffChip and IntraChip are nil).
+//
+// A RunStream with materializing trace sinks is exactly Run: the same
+// engine drives the same machine through the same warmup gate, so the
+// emitted records are byte-for-byte those of the batch path.
+func RunStream(cfg Config, off, intra trace.Sink) *Result {
+	return runSinks(cfg, off, intra)
+}
+
+// runSinks is the shared engine of Run and RunStream.
+func runSinks(cfg Config, offSink, intraSink trace.Sink) *Result {
 	if cfg.TargetMisses == 0 {
 		cfg.TargetMisses = 60000
 	}
@@ -223,17 +282,26 @@ func Run(cfg Config) *Result {
 		mach = sim.NewCMP(ncpu, cfg.Scale.caches(), as.Blocks())
 	}
 
-	// Presize the collection buffers so the hot Append path never
-	// re-doubles a multi-megabyte slice mid-run: the construction pass
-	// misses at most on every block of the footprint (compulsory) plus a
-	// replacement/overshoot slack, and warmup and measurement targets are
-	// known exactly.
-	blocks := int(as.Blocks())
-	off := mach.OffChip()
-	off.Grow(blocks + cfg.WarmMisses + cfg.TargetMisses + 4096)
-	it := mach.IntraChip() // nil for the DSM
-	if it != nil {
-		it.Grow(blocks + 4*(cfg.WarmMisses+cfg.TargetMisses))
+	// Route the machine's records through closed gates: construction and
+	// warmup misses are counted for the stop predicates but dropped, so
+	// the multi-megabyte warmup prefix never materializes. Presize the
+	// measurement sinks that are plain traces so the hot Append path never
+	// re-doubles mid-run (+slack for stop-predicate overshoot).
+	offGate := &windowGate{}
+	var intraGate *windowGate
+	if cfg.Machine == SingleChip {
+		intraGate = &windowGate{}
+		mach.SetSinks(offGate, intraGate)
+	} else {
+		// Untyped nil, not a nil *windowGate: SetSinks' "nil restores the
+		// machine-owned trace" contract checks the interface value.
+		mach.SetSinks(offGate, nil)
+	}
+	if t, ok := offSink.(*trace.Trace); ok && t != nil {
+		t.Grow(cfg.TargetMisses + 4096)
+	}
+	if t, ok := intraSink.(*trace.Trace); ok && t != nil {
+		t.Grow(40*cfg.TargetMisses + 4096)
 	}
 
 	eng := engine.New(mach, k.Sched, k.Sync, cfg.Seed^0x5eed)
@@ -252,56 +320,42 @@ func Run(cfg Config) *Result {
 	// Warmup: run the engine for WarmMisses *additional* off-chip misses
 	// beyond the construction pass, so measurement starts from scheduler
 	// and cache steady state (the paper warms for 5000+ transactions).
-	// The stop predicates close over the trace pointers hoisted above, so
-	// each per-step poll is a slice-length compare with no interface call.
-	warmTarget := off.Len() + cfg.WarmMisses
-	off.Grow(cfg.WarmMisses + cfg.TargetMisses + 4096) // no-op unless construction outgrew the estimate
-	eng.Run(func() bool { return off.Len() >= warmTarget })
-	warmOff := off.Len()
+	// The stop predicates close over the gates hoisted above, so each
+	// per-step poll is one int compare with no interface call.
+	warmTarget := offGate.total + cfg.WarmMisses
+	eng.Run(func() bool { return offGate.total >= warmTarget })
+	warmOff := offGate.total
 	warmInstr := mach.OffChip().Instructions
 	var warmIntra int
-	if it != nil {
-		warmIntra = it.Len()
+	if intraGate != nil {
+		warmIntra = intraGate.total
 	}
 
-	// Measurement.
+	// Measurement: open the gates onto the caller's sinks.
+	offGate.sink = offSink
 	total := warmOff + cfg.TargetMisses
-	intraCap := warmIntra + 40*cfg.TargetMisses
-	if it != nil {
-		it.Grow(intraCap + 64 - it.Len())
-		eng.Run(func() bool { return off.Len() >= total || it.Len() >= intraCap })
+	if intraGate != nil {
+		intraGate.sink = intraSink
+		intraCap := warmIntra + 40*cfg.TargetMisses
+		eng.Run(func() bool { return offGate.total >= total || intraGate.total >= intraCap })
 	} else {
-		eng.Run(func() bool { return off.Len() >= total })
+		eng.Run(func() bool { return offGate.total >= total })
 	}
 
-	res := &Result{
-		Config: cfg,
-		OffChip: &trace.Trace{
-			Misses:       copyMisses(off.Misses[warmOff:]),
-			Instructions: mach.OffChip().Instructions - warmInstr,
-			CPUs:         ncpu,
-		},
+	instr := mach.OffChip().Instructions
+	if offSink != nil {
+		offSink.Finish(trace.Header{Misses: offGate.kept, Instructions: instr - warmInstr, CPUs: ncpu})
+	}
+	if intraGate != nil && intraSink != nil {
+		intraSink.Finish(trace.Header{Misses: intraGate.kept, Instructions: instr - warmInstr, CPUs: ncpu})
+	}
+
+	return &Result{
+		Config:    cfg,
 		SymTab:    st,
 		CPUs:      ncpu,
 		Footprint: as.Footprint(),
 		AS:        as,
 		Kernel:    k,
 	}
-	if it != nil {
-		res.IntraChip = &trace.Trace{
-			Misses:       copyMisses(it.Misses[warmIntra:]),
-			Instructions: mach.IntraChip().Instructions - warmInstr,
-			CPUs:         ncpu,
-		}
-	}
-	return res
-}
-
-// copyMisses detaches a measurement window from the collection buffer, so
-// the multi-megabyte warmup prefix is not pinned for the Result's lifetime
-// by a mere re-slice.
-func copyMisses(window []trace.Miss) []trace.Miss {
-	out := make([]trace.Miss, len(window))
-	copy(out, window)
-	return out
 }

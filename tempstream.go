@@ -8,12 +8,32 @@
 // Quick start:
 //
 //	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 30000)
-//	mc := exp.Contexts[tempstream.MultiChipCtx]
+//	mc := exp.Context(tempstream.MultiChipCtx)
 //	fmt.Println(mc.Analysis.StreamFraction()) // fraction of misses in streams
+//
+// or, streaming — the analyses consume the miss stream as the simulators
+// produce it, so nothing is materialized and peak memory is bounded by the
+// analysis window instead of the trace:
+//
+//	exp := tempstream.CollectStreaming(tempstream.OLTP, tempstream.Small, 1, 30000,
+//		tempstream.StreamOptions{})
+//	fmt.Println(exp.Context(tempstream.MultiChipCtx).Analysis.StreamFraction())
 //
 // The analyses are hardware-independent (Section 3 of the paper): streams
 // are identified by SEQUITUR grammar inference over the miss-address
 // sequence, with no assumptions about any particular prefetcher.
+//
+// # Streaming
+//
+// The data path is push-based end to end (see trace.Sink): the machine
+// simulators emit classified records into sinks, the workload runner gates
+// the warmup window sink-side, and the analyses and prefetcher evaluations
+// are incremental operators (core.Analyzer Begin/Feed/Finish,
+// prefetch.Evaluator.Step). Collect materializes each context's trace
+// through the same sinks and then analyzes it; CollectStreaming wires the
+// simulators directly to per-context analyzer (and optional prefetcher)
+// sinks, so analysis overlaps simulation and the two produce field-for-
+// field identical results.
 //
 // # Concurrency
 //
@@ -23,9 +43,9 @@
 // GOMAXPROCS and is tuned with SetWorkers (the cmd/tsreport -j flag maps to
 // it). Results are byte-for-byte deterministic for a given seed regardless
 // of the worker count: every simulation seeds its own RNGs and every
-// analysis is a pure function of its trace. Analyses borrow core.Analyzer
-// instances from an internal pool, so grammar and scratch storage is
-// reused across contexts and applications.
+// analysis is a pure function of its miss stream. Analyses borrow
+// core.Analyzer instances from an internal pool, so grammar and scratch
+// storage is reused across contexts and applications.
 package tempstream
 
 import (
@@ -33,6 +53,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/prefetch"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -75,12 +96,15 @@ const (
 	SingleChipCtx
 	// IntraChipCtx: L1 misses of the CMP satisfied on chip.
 	IntraChipCtx
+
+	// NumContexts is the number of analysis contexts.
+	NumContexts
 )
 
-var contextNames = [...]string{"multi-chip", "single-chip", "intra-chip"}
+var contextNames = [NumContexts]string{"multi-chip", "single-chip", "intra-chip"}
 
 func (c Context) String() string {
-	if c >= 0 && int(c) < len(contextNames) {
+	if c >= 0 && c < NumContexts {
 		return contextNames[c]
 	}
 	return "invalid context"
@@ -89,11 +113,20 @@ func (c Context) String() string {
 // Contexts returns all three contexts in the paper's presentation order.
 func Contexts() []Context { return []Context{MultiChipCtx, SingleChipCtx, IntraChipCtx} }
 
-// ContextResult is one context's classified trace plus its stream
-// analysis.
+// ContextResult is one context's stream analysis plus, in batch mode, its
+// classified trace.
 type ContextResult struct {
-	Trace    *trace.Trace
+	// Trace is the materialized miss trace. It is nil for streaming
+	// collections (unless StreamOptions.KeepTraces was set): the records
+	// were consumed as they were produced.
+	Trace *trace.Trace
+	// Header carries the context's window totals (misses emitted,
+	// instructions retired, CPUs) whether or not the trace was kept.
+	Header   trace.Header
 	Analysis *core.Analysis
+	// Prefetch holds the temporal-stream prefetcher evaluation when one
+	// was requested (StreamOptions.Prefetch); nil otherwise.
+	Prefetch *prefetch.Result
 	SymTab   *trace.SymbolTable
 }
 
@@ -101,13 +134,16 @@ type ContextResult struct {
 type Experiment struct {
 	App   App
 	Scale Scale
-	// Contexts holds the per-context results.
-	Contexts map[Context]*ContextResult
+	// Contexts holds the per-context results, indexed by Context.
+	Contexts [NumContexts]*ContextResult
 	// MultiChip and SingleChip expose the raw run results (MPKI,
 	// footprints, kernel statistics).
 	MultiChip  *workload.Result
 	SingleChip *workload.Result
 }
+
+// Context returns the result for one analysis context.
+func (e *Experiment) Context(c Context) *ContextResult { return e.Contexts[c] }
 
 // SetWorkers bounds the number of simulations and analyses the package
 // runs concurrently (process-wide, shared with nested CollectAll fan-out).
@@ -118,7 +154,8 @@ func SetWorkers(n int) { par.SetWorkers(n) }
 func Workers() int { return par.Workers() }
 
 // analyzerPool recycles core.Analyzer instances (grammar slab, digram
-// index, walker scratch) across contexts, applications, and Collect calls.
+// index, stride tables, walker scratch) across contexts, applications, and
+// Collect calls.
 var analyzerPool = sync.Pool{New: func() any { return core.NewAnalyzer() }}
 
 func analyze(tr *trace.Trace) *core.Analysis {
@@ -126,6 +163,11 @@ func analyze(tr *trace.Trace) *core.Analysis {
 	a := an.Analyze(tr, core.Options{})
 	analyzerPool.Put(an)
 	return a
+}
+
+// headerOf derives a window header from a materialized trace.
+func headerOf(tr *trace.Trace) trace.Header {
+	return trace.Header{Misses: tr.Len(), Instructions: tr.Instructions, CPUs: tr.CPUs}
 }
 
 // Collect runs app on both machine models at the given scale and analyzes
@@ -155,11 +197,10 @@ func Collect(app App, scale Scale, seed int64, target int) *Experiment {
 
 	exp := &Experiment{
 		App: app, Scale: scale,
-		Contexts:   make(map[Context]*ContextResult, 3),
 		MultiChip:  mc,
 		SingleChip: sc,
 	}
-	results := make([]*ContextResult, 3)
+	results := make([]*ContextResult, NumContexts)
 	var analyses par.Group
 	for i, in := range []struct {
 		tr  *trace.Trace
@@ -172,6 +213,7 @@ func Collect(app App, scale Scale, seed int64, target int) *Experiment {
 		analyses.Go(func() {
 			results[i] = &ContextResult{
 				Trace:    in.tr,
+				Header:   headerOf(in.tr),
 				Analysis: analyze(in.tr),
 				SymTab:   in.res.SymTab,
 			}
@@ -198,25 +240,180 @@ func collectSerial(app App, scale Scale, seed int64, target int) *Experiment {
 	})
 	exp := &Experiment{
 		App: app, Scale: scale,
-		Contexts:   make(map[Context]*ContextResult, 3),
 		MultiChip:  mc,
 		SingleChip: sc,
 	}
 	exp.Contexts[MultiChipCtx] = &ContextResult{
 		Trace:    mc.OffChip,
+		Header:   headerOf(mc.OffChip),
 		Analysis: core.Analyze(mc.OffChip, core.Options{}),
 		SymTab:   mc.SymTab,
 	}
 	exp.Contexts[SingleChipCtx] = &ContextResult{
 		Trace:    sc.OffChip,
+		Header:   headerOf(sc.OffChip),
 		Analysis: core.Analyze(sc.OffChip, core.Options{}),
 		SymTab:   sc.SymTab,
 	}
 	exp.Contexts[IntraChipCtx] = &ContextResult{
 		Trace:    sc.IntraChip,
+		Header:   headerOf(sc.IntraChip),
 		Analysis: core.Analyze(sc.IntraChip, core.Options{}),
 		SymTab:   sc.SymTab,
 	}
+	return exp
+}
+
+// StreamOptions tunes CollectStreaming.
+type StreamOptions struct {
+	// Analysis tunes the per-context stream analyses (window size, reuse
+	// truncation). The zero value matches Collect's defaults.
+	Analysis core.Options
+	// Prefetch, when non-nil, additionally evaluates a temporal-stream
+	// prefetcher over each context's miss stream as it is produced; the
+	// counters land in ContextResult.Prefetch.
+	Prefetch *prefetch.Config
+	// KeepTraces materializes the per-context traces as Collect does,
+	// costing O(trace) memory again. Off by default: streaming results
+	// carry only headers and analyses.
+	KeepTraces bool
+}
+
+// streamChunk bounds the ctxSink's batching buffer (misses). Feeding the
+// analyzer in bursts rather than per record keeps the grammar's tables hot
+// across consecutive symbols instead of competing with the simulator's
+// memory traffic on every miss; 32k records is 512 KB — still O(1) per
+// context, far below any analysis window.
+const streamChunk = 32768
+
+// ctxSink is the per-context streaming consumer: it tees each record into
+// the incremental analyzer, the optional prefetcher evaluation, and the
+// optional materializing trace, amortizing the per-record work over
+// bounded chunks.
+type ctxSink struct {
+	chunk []trace.Miss
+	// inert is set once every consumer is saturated (analysis window full,
+	// no prefetcher, no kept trace): the remaining records need no work at
+	// all, exactly as the batch path's analysis truncation never reads
+	// them.
+	inert  bool
+	an     *core.Analyzer
+	ev     *prefetch.Evaluator
+	tr     *trace.Trace
+	header trace.Header
+}
+
+// newCtxSink prepares one context's consumers; expect is the anticipated
+// window length, used purely to presize storage.
+func newCtxSink(cpus, expect int, opts StreamOptions) *ctxSink {
+	s := &ctxSink{
+		chunk: make([]trace.Miss, 0, streamChunk),
+		an:    analyzerPool.Get().(*core.Analyzer),
+	}
+	s.an.Begin(cpus, opts.Analysis)
+	s.an.Grow(expect)
+	if opts.Prefetch != nil {
+		s.ev = prefetch.NewEvaluator(*opts.Prefetch)
+	}
+	if opts.KeepTraces {
+		s.tr = &trace.Trace{}
+		s.tr.Grow(expect)
+	}
+	return s
+}
+
+// Append implements trace.Sink: one bounds-checked store per record, with
+// the consumers run chunk-at-a-time from flush.
+func (s *ctxSink) Append(m trace.Miss) {
+	if s.inert {
+		return
+	}
+	s.chunk = append(s.chunk, m)
+	if len(s.chunk) == cap(s.chunk) {
+		s.flush()
+	}
+}
+
+// flush drains the chunk through the analyzer, prefetcher, and trace in
+// record order.
+func (s *ctxSink) flush() {
+	s.an.FeedAll(s.chunk)
+	if s.ev != nil {
+		for i := range s.chunk {
+			s.ev.Step(s.chunk[i])
+		}
+	}
+	if s.tr != nil {
+		s.tr.Misses = append(s.tr.Misses, s.chunk...)
+	}
+	s.chunk = s.chunk[:0]
+	s.inert = s.an.Full() && s.ev == nil && s.tr == nil
+}
+
+// Finish implements trace.Sink.
+func (s *ctxSink) Finish(h trace.Header) {
+	s.flush()
+	s.header = h
+	if s.tr != nil {
+		s.tr.Finish(h)
+	}
+}
+
+// result completes the context's analyses and returns the Analyzer to the
+// pool.
+func (s *ctxSink) result(st *trace.SymbolTable) *ContextResult {
+	cr := &ContextResult{
+		Trace:    s.tr,
+		Header:   s.header,
+		Analysis: s.an.Finish(),
+		SymTab:   st,
+	}
+	analyzerPool.Put(s.an)
+	s.an = nil
+	if s.ev != nil {
+		r := s.ev.Result()
+		cr.Prefetch = &r
+	}
+	return cr
+}
+
+// CollectStreaming runs app on both machine models and analyzes all three
+// contexts without materializing any trace: the simulators push each
+// classified miss straight into the per-context analyzer (and optional
+// prefetcher) sinks, so analysis overlaps simulation and peak memory is
+// bounded by the analysis window (Options.MaxMisses) rather than the
+// trace length. Results are field-for-field identical to Collect with the
+// same arguments.
+func CollectStreaming(app App, scale Scale, seed int64, target int, opts StreamOptions) *Experiment {
+	expect := target
+	if expect == 0 {
+		expect = 60000 // the workload runner's default target
+	}
+	exp := &Experiment{App: app, Scale: scale}
+	var sims par.Group
+	sims.Go(func() {
+		s := newCtxSink(workload.MultiChip.CPUCount(), expect, opts)
+		res := workload.RunStream(workload.Config{
+			App: app, Machine: workload.MultiChip, Scale: scale,
+			Seed: seed, TargetMisses: target,
+		}, s, nil)
+		exp.MultiChip = res
+		exp.Contexts[MultiChipCtx] = s.result(res.SymTab)
+	})
+	sims.Go(func() {
+		off := newCtxSink(workload.SingleChip.CPUCount(), expect, opts)
+		// The intra-chip stream runs up to 40x the off-chip target (the
+		// workload runner's measurement cap).
+		intra := newCtxSink(workload.SingleChip.CPUCount(), 40*expect, opts)
+		res := workload.RunStream(workload.Config{
+			App: app, Machine: workload.SingleChip, Scale: scale,
+			Seed: seed, TargetMisses: target,
+		}, off, intra)
+		exp.SingleChip = res
+		exp.Contexts[SingleChipCtx] = off.result(res.SymTab)
+		exp.Contexts[IntraChipCtx] = intra.result(res.SymTab)
+	})
+	sims.Wait()
 	return exp
 }
 
