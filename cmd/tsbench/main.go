@@ -26,6 +26,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/cli"
 )
 
 // BenchResult is one benchmark line, parsed.
@@ -116,6 +118,10 @@ func main() {
 	count := flag.Int("count", 1, "count forwarded to go test")
 	long := flag.Bool("long", false, "run without -short (includes the simulation-heavy benchmarks)")
 	flag.Parse()
+
+	if err := cli.Positive("-count", *count); err != nil {
+		fatalf("%v", err)
+	}
 
 	art := Artifact{
 		Timestamp: time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,199 @@
+// Command tsload is the ingest load generator: it fans the paper's six
+// simulated applications out over N concurrent client connections to a
+// tsserved daemon, streaming each simulation's classified misses over the
+// wire protocol as they are produced, and reports per-session results
+// plus aggregate ingest throughput.
+//
+// Usage:
+//
+//	tsload -addr HOST:7465 [-clients 4] [-apps all|oltp,apache,...]
+//	       [-machine both] [-intra] [-scale small] [-seed 1] [-target 20000]
+//	       [-window N] [-prefetch] [-repeat 1]
+//
+// Each job simulates one app on one machine model and streams its
+// off-chip misses into one session; with -intra, a single-chip job
+// streams the intra-chip misses into a second concurrent session fed by
+// the same simulation — the same fan-out CollectStreaming performs in
+// process. -repeat multiplies the job list for sustained load. The final
+// line reports aggregate records/sec across all sessions, the number
+// tsserved's ingest trajectory tracks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+type job struct {
+	app     workload.App
+	machine workload.MachineKind
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7465", "tsserved ingest address")
+	clients := flag.Int("clients", 4, "concurrent client simulations")
+	appsFlag := flag.String("apps", "all", "comma-separated app list, or all")
+	machineFlag := flag.String("machine", "both", "machine model per app: multi, single, or both")
+	intra := flag.Bool("intra", false, "also stream single-chip intra-chip misses (second session per CMP job)")
+	scaleFlag := flag.String("scale", "small", "scale: small, medium, large")
+	seed := flag.Int64("seed", 1, "random seed")
+	target := flag.Int("target", 20000, "off-chip misses to stream per simulation")
+	window := flag.Int("window", 0, "requested per-session analysis window in misses (0 = server default)")
+	pf := flag.Bool("prefetch", false, "request a temporal-stream prefetcher evaluation per session")
+	repeat := flag.Int("repeat", 1, "repetitions of the app x machine job list")
+	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+		os.Exit(2)
+	}
+	apps, err := cli.Apps(*appsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	machines, err := cli.Machines(*machineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := cli.Scale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cli.Positive("-clients", *clients); err != nil {
+		fatal(err)
+	}
+	if err := cli.Positive("-target", *target); err != nil {
+		fatal(err)
+	}
+	if err := cli.Positive("-repeat", *repeat); err != nil {
+		fatal(err)
+	}
+	if err := cli.NonNegative("-window", *window); err != nil {
+		fatal(err)
+	}
+	if *intra {
+		hasSingle := false
+		for _, m := range machines {
+			hasSingle = hasSingle || m == workload.SingleChip
+		}
+		if !hasSingle {
+			fatal(fmt.Errorf("-intra requires -machine single or both"))
+		}
+	}
+
+	req := server.Request{Analysis: core.Options{MaxMisses: *window}}
+	if *pf {
+		req.Prefetch = &prefetch.Config{Depth: 8, HistoryLen: 20000, BufferBlocks: 2048}
+	}
+
+	var jobs []job
+	for r := 0; r < *repeat; r++ {
+		for _, app := range apps {
+			for _, m := range machines {
+				jobs = append(jobs, job{app, m})
+			}
+		}
+	}
+
+	var (
+		mu           sync.Mutex
+		failed       int
+		totalRecords atomic.Int64
+		wg           sync.WaitGroup
+	)
+	jobCh := make(chan job)
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if err := runJob(*addr, j, scale, *seed, *target, *intra, req, &totalRecords); err != nil {
+					mu.Lock()
+					failed++
+					fmt.Fprintf(os.Stderr, "tsload: %v/%v: %v\n", j.app, j.machine, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	recs := totalRecords.Load()
+	fmt.Printf("tsload: %d jobs, %d sessions failed, %d records in %.2fs = %.0f records/sec aggregate\n",
+		len(jobs), failed, recs, elapsed.Seconds(), float64(recs)/elapsed.Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJob simulates one app/machine pair, streaming into one session (plus
+// an intra-chip session for CMP jobs when requested), and prints each
+// session's result line.
+func runJob(addr string, j job, scale workload.Scale, seed int64, target int,
+	intra bool, req server.Request, totalRecords *atomic.Int64) error {
+	label := fmt.Sprintf("%v/%v", j.app, j.machine)
+	offReq := req
+	offReq.Label = label
+	off, err := server.DialSession(addr, j.machine.CPUCount(), offReq)
+	if err != nil {
+		return err
+	}
+	defer off.Close()
+
+	var intraSess *server.ClientSession
+	if intra && j.machine == workload.SingleChip {
+		intraReq := req
+		intraReq.Label = label + "/intra"
+		intraSess, err = server.DialSession(addr, j.machine.CPUCount(), intraReq)
+		if err != nil {
+			return err
+		}
+		defer intraSess.Close()
+	}
+
+	cfg := workload.Config{App: j.app, Machine: j.machine, Scale: scale, Seed: seed, TargetMisses: target}
+	simStart := time.Now()
+	if intraSess != nil {
+		workload.RunStream(cfg, off, intraSess)
+	} else {
+		workload.RunStream(cfg, off, nil)
+	}
+	simSecs := time.Since(simStart).Seconds()
+
+	report := func(label string, cs *server.ClientSession) error {
+		res, err := cs.Result()
+		if err != nil {
+			return err
+		}
+		totalRecords.Add(cs.Records())
+		fmt.Printf("  %-22s records=%-8d window=%-7d streams=%5.1f%% mpki=%7.3f %8.0f records/sec\n",
+			label, cs.Records(), res.Window, 100*res.StreamFrac, res.MPKI,
+			float64(cs.Records())/simSecs)
+		return nil
+	}
+	if err := report(label, off); err != nil {
+		return err
+	}
+	if intraSess != nil {
+		if err := report(label+"/intra", intraSess); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,9 +20,9 @@ import (
 	"time"
 
 	tempstream "repro"
+	"repro/internal/cli"
 	"repro/internal/report"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -32,25 +32,33 @@ func main() {
 	only := flag.String("only", "", "comma-separated artifacts to print (fig1,fig2,fig3,fig4,table3,table4,table5,hot); empty = all")
 	jobs := flag.Int("j", 0, "max concurrent simulations/analyses (0 = GOMAXPROCS)")
 	flag.Parse()
-	tempstream.SetWorkers(*jobs)
 
-	var scale workload.Scale
-	switch *scaleFlag {
-	case "small":
-		scale = workload.Small
-	case "medium":
-		scale = workload.Medium
-	case "large":
-		scale = workload.Large
-	default:
-		fmt.Fprintf(os.Stderr, "tsreport: unknown scale %q\n", *scaleFlag)
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "tsreport: %v\n", err)
 		os.Exit(2)
 	}
+	scale, err := cli.Scale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cli.NonNegative("-j", *jobs); err != nil {
+		fatal(err)
+	}
+	if err := cli.Positive("-target", *target); err != nil {
+		fatal(err)
+	}
+	tempstream.SetWorkers(*jobs)
 
+	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
+		"table3": true, "table4": true, "table5": true, "hot": true}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
+			name := strings.TrimSpace(s)
+			if !known[name] {
+				fatal(fmt.Errorf("unknown artifact %q in -only (want fig1..fig4, table3..table5, hot)", name))
+			}
+			want[name] = true
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }

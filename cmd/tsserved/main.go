@@ -1,0 +1,115 @@
+// Command tsserved is the miss-stream ingest and analysis daemon: it
+// accepts wire-format classified miss streams (internal/wire) over TCP,
+// binds each connection's session to a pooled incremental analyzer
+// (tempstream.Session), and answers with the session's temporal-stream
+// analysis. Per-session memory stays O(analysis window) no matter how
+// long a client streams; concurrent sessions are bounded, with further
+// sessions queuing behind the framed protocol's natural backpressure.
+//
+// Usage:
+//
+//	tsserved [-addr :7465] [-stats :7466] [-max-sessions 16] [-max-window N]
+//
+// The -stats listener serves a JSON snapshot on /stats: aggregate ingest
+// counters plus one row per session (records, records/sec, and — once the
+// session completes — its stream fraction and MPKI). SIGINT/SIGTERM
+// drain gracefully: the listener closes, in-flight and queued sessions
+// run to completion (up to -drain-timeout), then the process exits 0.
+//
+// Drive it with cmd/tsload (a simulated fleet of clients) or any producer
+// that speaks the wire format — e.g. `tstrace -record` archives replayed
+// by a thin client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7465", "ingest listen address")
+	statsAddr := flag.String("stats", "", "stats HTTP listen address (empty = disabled)")
+	maxSessions := flag.Int("max-sessions", 16, "concurrent analysis sessions; further sessions queue")
+	maxWindow := flag.Int("max-window", 0, "per-session analysis window ceiling in misses (0 = analysis default)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long a session may wait for a slot before failing busy (0 = 30s)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between a connection's reads before it is dropped (0 = 2m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "tsserved: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.Positive("-max-sessions", *maxSessions); err != nil {
+		fatal(err)
+	}
+	if err := cli.NonNegative("-max-window", *maxWindow); err != nil {
+		fatal(err)
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+
+	srv, err := server.Listen(*addr, server.Config{
+		MaxSessions:  *maxSessions,
+		MaxWindow:    *maxWindow,
+		QueueTimeout: *queueTimeout,
+		IdleTimeout:  *idleTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tsserved: listening on %s (max-sessions=%d)\n", srv.Addr(), *maxSessions)
+
+	var statsSrv *http.Server
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.StatsHandler())
+		statsSrv = &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "tsserved: stats listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("tsserved: stats on http://%s/stats\n", *statsAddr)
+	}
+	// The "listening" lines are the readiness signal for supervisors and
+	// the e2e smoke test.
+	os.Stdout.Sync()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("tsserved: %v: draining (timeout %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if statsSrv != nil {
+			statsSrv.Close()
+		}
+		st := srv.Stats()
+		fmt.Printf("tsserved: drained: %d sessions (%d failed), %d records ingested\n",
+			st.TotalSessions, st.FailedSessions, st.TotalRecords)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsserved: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-serveErr:
+		if err != nil && err != server.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}

@@ -8,6 +8,9 @@
 //
 //	tstrace -app oltp -machine multi [-scale small] [-n 1000] [-intra]
 //	tstrace -app oltp -machine multi -stream [-window 5000]
+//	tstrace -app oltp -machine multi -record trace.tsw
+//	tstrace -replay trace.tsw [-n 1000]
+//	tstrace -replay trace.tsw -stream [-window 5000]
 //
 // -machine both simulates the multi-chip and single-chip organizations
 // concurrently and dumps both traces, multi-chip first.
@@ -17,6 +20,14 @@
 // incremental analyzer sink, and one line of temporal-stream statistics is
 // printed per -window misses as the simulation runs. Peak memory is
 // bounded by the window regardless of -target.
+//
+// -record FILE streams the selected trace into a wire-format archive
+// (internal/wire: framed, delta-encoded, CRC-protected, with the symbol
+// table in the trailer) without materializing it; -replay FILE reads such
+// an archive — from this command, another tool, or another machine — in
+// place of running a simulation, driving exactly the sinks a live run
+// would drive. Record→replay is byte-identical: replayed analyses
+// reproduce the in-process results field for field.
 package main
 
 import (
@@ -25,11 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/par"
 	"repro/internal/trace"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -43,41 +55,72 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	stream := flag.Bool("stream", false, "streaming mode: print per-window stream fractions as the simulation runs")
 	window := flag.Int("window", 5000, "misses per analysis window in -stream mode")
+	record := flag.String("record", "", "write the selected miss stream to this wire-format archive instead of dumping text")
+	replay := flag.String("replay", "", "read the miss stream from this wire-format archive instead of simulating")
 	flag.Parse()
 
-	app, ok := map[string]workload.App{
-		"apache": workload.Apache, "zeus": workload.Zeus, "oltp": workload.OLTP,
-		"qry1": workload.Qry1, "qry2": workload.Qry2, "qry17": workload.Qry17,
-	}[strings.ToLower(*appFlag)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tstrace: unknown app %q\n", *appFlag)
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
 		os.Exit(2)
 	}
-	var machines []workload.MachineKind
-	switch m := strings.ToLower(*machineFlag); {
-	case strings.HasPrefix(m, "b"):
-		machines = []workload.MachineKind{workload.MultiChip, workload.SingleChip}
-	case strings.HasPrefix(m, "s"):
-		machines = []workload.MachineKind{workload.SingleChip}
-	default:
-		machines = []workload.MachineKind{workload.MultiChip}
+
+	// Numeric validation first: these apply in every mode.
+	if err := cli.NonNegative("-n", *n); err != nil {
+		fatal(err)
 	}
-	if *intra && (len(machines) != 1 || machines[0] != workload.SingleChip) {
-		fmt.Fprintln(os.Stderr, "tstrace: -intra requires -machine single (multi-chip runs have no intra-chip trace)")
-		os.Exit(2)
+	if err := cli.Positive("-target", *target); err != nil {
+		fatal(err)
 	}
-	scale := map[string]workload.Scale{
-		"small": workload.Small, "medium": workload.Medium, "large": workload.Large,
-	}[strings.ToLower(*scaleFlag)]
+	if err := cli.Positive("-window", *window); err != nil {
+		fatal(err)
+	}
+	if *stream && *window < 2 {
+		fatal(fmt.Errorf("-window must be at least 2 in -stream mode"))
+	}
+	if *record != "" && *replay != "" {
+		fatal(fmt.Errorf("-record and -replay are mutually exclusive"))
+	}
+	if *record != "" && *stream {
+		fatal(fmt.Errorf("-record and -stream are mutually exclusive (replay the archive with -replay -stream)"))
+	}
+
+	if *replay != "" {
+		if err := replayFile(*replay, *stream, *window, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	app, err := cli.App(*appFlag)
+	if err != nil {
+		fatal(err)
+	}
+	machines, err := cli.Machines(*machineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	scale, err := cli.Scale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	single := len(machines) == 1 && machines[0] == workload.SingleChip
+	if *intra && !single {
+		fatal(fmt.Errorf("-intra requires -machine single (multi-chip runs have no intra-chip trace)"))
+	}
+
+	if *record != "" {
+		if len(machines) != 1 {
+			fatal(fmt.Errorf("-record requires a single machine (-machine multi or single)"))
+		}
+		if err := recordFile(*record, app, machines[0], scale, *seed, *target, *intra); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *stream {
 		if len(machines) != 1 {
-			fmt.Fprintln(os.Stderr, "tstrace: -stream requires a single machine (-machine multi or single)")
-			os.Exit(2)
-		}
-		if *window < 2 {
-			fmt.Fprintln(os.Stderr, "tstrace: -window must be at least 2")
-			os.Exit(2)
+			fatal(fmt.Errorf("-stream requires a single machine (-machine multi or single)"))
 		}
 		streamRun(app, machines[0], scale, *seed, *target, *window, *intra)
 		return
@@ -102,8 +145,83 @@ func main() {
 		if *intra {
 			tr = res.IntraChip // guaranteed non-nil: -intra implies single-chip
 		}
-		dump(w, app, machines[i], scale, res, tr, *n)
+		header := fmt.Sprintf("# app=%v machine=%v scale=%v", app, machines[i], scale)
+		dump(w, header, res.SymTab, tr, *n)
 	}
+}
+
+// recordFile streams one configuration's selected miss stream straight
+// into a wire archive: the encoder is the measurement sink, so the trace
+// is never materialized.
+func recordFile(path string, app workload.App, machine workload.MachineKind,
+	scale workload.Scale, seed int64, target int, intra bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	enc := wire.NewEncoder(bw, machine.CPUCount())
+	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
+	var res *workload.Result
+	if intra {
+		res = workload.RunStream(cfg, nil, enc)
+	} else {
+		res = workload.RunStream(cfg, enc, nil)
+	}
+	enc.SetSymbols(wire.FuncsOf(res.SymTab))
+	if err := enc.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tstrace: recorded %d misses (%s, %v, %v) to %s: %d bytes, %.2f bytes/miss\n",
+		enc.Records(), app, machine, scale, path, fi.Size(),
+		float64(fi.Size())/float64(max(enc.Records(), 1)))
+	return nil
+}
+
+// replayFile drives the dump or streaming-analysis sinks from a wire
+// archive instead of a simulation.
+func replayFile(path string, stream bool, window, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	if stream {
+		dec := wire.NewDecoder(f)
+		meta, err := dec.Meta()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# replay=%s cpus=%d window=%d\n", path, meta.CPUs, window)
+		sink := &windowSink{w: w, an: core.NewAnalyzer(), cpus: meta.CPUs, window: window}
+		if _, err := dec.Run(sink); err != nil {
+			return err
+		}
+		return dec.ExpectEOF()
+	}
+
+	tr, trailer, err := wire.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	dump(w, fmt.Sprintf("# replay=%s", path), trailer.SymbolTable(), tr, n)
+	return nil
 }
 
 // windowSink is the -stream consumer: an incremental analyzer recycled
@@ -136,11 +254,8 @@ func (s *windowSink) Append(m trace.Miss) {
 func (s *windowSink) flush() {
 	a := s.an.Finish()
 	_, ns, rc := a.Fractions()
-	for i := range a.State {
-		if a.State[i] != core.NonRepetitive {
-			s.inStream++
-		}
-	}
+	counts := a.StateCounts()
+	s.inStream += counts[core.NewStream] + counts[core.Recurring]
 	s.total += len(a.Misses)
 	fmt.Fprintf(s.w, "window %-4d misses=%-7d in_streams=%5.1f%% new=%5.1f%% recurring=%5.1f%% rules=%-6d median_len=%.0f\n",
 		s.idx, len(a.Misses), 100*(ns+rc), 100*ns, 100*rc, a.GrammarRules(), a.MedianStreamLength())
@@ -174,10 +289,9 @@ func streamRun(app workload.App, machine workload.MachineKind, scale workload.Sc
 	}
 }
 
-func dump(w io.Writer, app workload.App, machine workload.MachineKind, scale workload.Scale,
-	res *workload.Result, tr *trace.Trace, n int) {
-	fmt.Fprintf(w, "# app=%v machine=%v scale=%v misses=%d instructions=%d mpki=%.3f\n",
-		app, machine, scale, tr.Len(), tr.Instructions, tr.MPKI())
+func dump(w io.Writer, header string, st *trace.SymbolTable, tr *trace.Trace, n int) {
+	fmt.Fprintf(w, "%s misses=%d instructions=%d mpki=%.3f\n",
+		header, tr.Len(), tr.Instructions, tr.MPKI())
 	fmt.Fprintf(w, "# %-8s %-4s %-14s %-14s %-8s %-24s %s\n",
 		"pos", "cpu", "block", "class", "supply", "function", "category")
 	limit := tr.Len()
@@ -186,7 +300,7 @@ func dump(w io.Writer, app workload.App, machine workload.MachineKind, scale wor
 	}
 	for i := 0; i < limit; i++ {
 		m := tr.Misses[i]
-		f := res.SymTab.Func(m.Func)
+		f := st.Func(m.Func)
 		fmt.Fprintf(w, "%-10d %-4d %#-14x %-14s %-8s %-24s %s\n",
 			i, m.CPU, m.Addr, m.Class, m.Supplier, f.Name, f.Category)
 	}

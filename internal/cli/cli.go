@@ -1,0 +1,107 @@
+// Package cli centralizes flag parsing and validation shared by the
+// repository's commands (tstrace, tsreport, tsbench, tsserved, tsload):
+// name-to-enum lookups that reject unknown names instead of silently
+// defaulting, and numeric range checks with uniform error text. Commands
+// print the returned error and exit 2; tests exercise the functions
+// directly.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+var apps = map[string]workload.App{
+	"apache": workload.Apache,
+	"zeus":   workload.Zeus,
+	"oltp":   workload.OLTP,
+	"qry1":   workload.Qry1,
+	"qry2":   workload.Qry2,
+	"qry17":  workload.Qry17,
+}
+
+// AppNames lists the accepted -app spellings.
+func AppNames() string { return "apache, zeus, oltp, qry1, qry2, qry17" }
+
+// App resolves one application name (case-insensitive).
+func App(name string) (workload.App, error) {
+	app, ok := apps[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return 0, fmt.Errorf("unknown app %q (want one of %s)", name, AppNames())
+	}
+	return app, nil
+}
+
+// Apps resolves a comma-separated application list; "all" (or empty)
+// yields every application in presentation order.
+func Apps(list string) ([]workload.App, error) {
+	list = strings.TrimSpace(list)
+	if list == "" || strings.EqualFold(list, "all") {
+		return workload.Apps(), nil
+	}
+	var out []workload.App
+	for _, name := range strings.Split(list, ",") {
+		app, err := App(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+// Scale resolves a scale name.
+func Scale(name string) (workload.Scale, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "small":
+		return workload.Small, nil
+	case "medium":
+		return workload.Medium, nil
+	case "large":
+		return workload.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want small, medium, or large)", name)
+}
+
+// Machine resolves one machine-model name.
+func Machine(name string) (workload.MachineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "multi", "multi-chip", "multichip", "dsm":
+		return workload.MultiChip, nil
+	case "single", "single-chip", "singlechip", "cmp":
+		return workload.SingleChip, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q (want multi, single, or both)", name)
+}
+
+// Machines resolves a -machine flag that additionally accepts "both".
+func Machines(name string) ([]workload.MachineKind, error) {
+	if strings.EqualFold(strings.TrimSpace(name), "both") {
+		return []workload.MachineKind{workload.MultiChip, workload.SingleChip}, nil
+	}
+	m, err := Machine(name)
+	if err != nil {
+		return nil, err
+	}
+	return []workload.MachineKind{m}, nil
+}
+
+// Positive rejects values < 1 for flags that size work (windows,
+// targets, client counts).
+func Positive(flag string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be positive (got %d)", flag, v)
+	}
+	return nil
+}
+
+// NonNegative rejects negative values for flags where zero selects a
+// default (-j, -n).
+func NonNegative(flag string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must not be negative (got %d)", flag, v)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestApp(t *testing.T) {
+	for name, want := range map[string]workload.App{
+		"apache": workload.Apache, "ZEUS": workload.Zeus, " oltp ": workload.OLTP,
+		"qry1": workload.Qry1, "Qry2": workload.Qry2, "qry17": workload.Qry17,
+	} {
+		got, err := App(name)
+		if err != nil || got != want {
+			t.Errorf("App(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "oltp2", "web", "qry3"} {
+		if _, err := App(bad); err == nil || !strings.Contains(err.Error(), "unknown app") {
+			t.Errorf("App(%q) err = %v, want unknown-app error", bad, err)
+		}
+	}
+}
+
+func TestApps(t *testing.T) {
+	if apps, err := Apps("all"); err != nil || len(apps) != int(workload.NumApps) {
+		t.Errorf("Apps(all) = %v, %v", apps, err)
+	}
+	if apps, err := Apps(""); err != nil || len(apps) != int(workload.NumApps) {
+		t.Errorf("Apps(\"\") = %v, %v", apps, err)
+	}
+	apps, err := Apps("oltp, apache")
+	if err != nil || len(apps) != 2 || apps[0] != workload.OLTP || apps[1] != workload.Apache {
+		t.Errorf("Apps(oltp, apache) = %v, %v", apps, err)
+	}
+	if _, err := Apps("oltp,nope"); err == nil {
+		t.Errorf("Apps with unknown member accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	for name, want := range map[string]workload.Scale{
+		"small": workload.Small, "Medium": workload.Medium, "LARGE": workload.Large,
+	} {
+		got, err := Scale(name)
+		if err != nil || got != want {
+			t.Errorf("Scale(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "tiny", "huge"} {
+		if _, err := Scale(bad); err == nil {
+			t.Errorf("Scale(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMachines(t *testing.T) {
+	for name, want := range map[string]workload.MachineKind{
+		"multi": workload.MultiChip, "DSM": workload.MultiChip,
+		"single": workload.SingleChip, "cmp": workload.SingleChip,
+	} {
+		got, err := Machine(name)
+		if err != nil || got != want {
+			t.Errorf("Machine(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	both, err := Machines("both")
+	if err != nil || len(both) != 2 || both[0] != workload.MultiChip || both[1] != workload.SingleChip {
+		t.Errorf("Machines(both) = %v, %v", both, err)
+	}
+	one, err := Machines("single")
+	if err != nil || len(one) != 1 || one[0] != workload.SingleChip {
+		t.Errorf("Machines(single) = %v, %v", one, err)
+	}
+	// The seed behavior this satellite kills: unknown names silently fell
+	// back to the multi-chip model. They must error now.
+	for _, bad := range []string{"", "b0th", "quad", "multi2"} {
+		if _, err := Machines(bad); err == nil {
+			t.Errorf("Machines(%q) accepted", bad)
+		}
+	}
+	if _, err := Machine("both"); err == nil {
+		t.Errorf("Machine(both) accepted (only Machines may expand it)")
+	}
+}
+
+func TestNumericValidators(t *testing.T) {
+	if err := Positive("-window", 1); err != nil {
+		t.Errorf("Positive(1): %v", err)
+	}
+	for _, bad := range []int{0, -1, -100} {
+		if err := Positive("-window", bad); err == nil || !strings.Contains(err.Error(), "-window") {
+			t.Errorf("Positive(%d) = %v", bad, err)
+		}
+	}
+	if err := NonNegative("-j", 0); err != nil {
+		t.Errorf("NonNegative(0): %v", err)
+	}
+	if err := NonNegative("-j", -4); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Errorf("NonNegative(-4) = %v", err)
+	}
+}

@@ -51,11 +51,16 @@ type Instance struct {
 	Len        int // misses covered
 }
 
+// DefaultMaxMisses is the analysis-window bound applied when
+// Options.MaxMisses is zero (consumers that enforce their own ceilings,
+// like the ingest server, reuse it).
+const DefaultMaxMisses = 400000
+
 // Options tunes an analysis.
 type Options struct {
 	// MaxMisses truncates the input trace (SEQUITUR and the derivation
-	// walk are linear, but memory is ~100 bytes/miss). 0 means the
-	// default of 400k.
+	// walk are linear, but memory is ~100 bytes/miss). 0 means
+	// DefaultMaxMisses.
 	MaxMisses int
 	// ReuseTruncate drops reuse distances above this many misses, as the
 	// paper truncates its distributions at 10^7. 0 means 10^7.
@@ -64,7 +69,7 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.MaxMisses == 0 {
-		o.MaxMisses = 400000
+		o.MaxMisses = DefaultMaxMisses
 	}
 	if o.ReuseTruncate == 0 {
 		o.ReuseTruncate = 10_000_000
@@ -368,16 +373,35 @@ func (an *Analyzer) computeReuseDistances(a *Analysis, ruleBound int) {
 	}
 }
 
+// StateCounts returns the number of misses in each StreamState, indexed
+// by StreamState (the integer form of the Figure 2 breakdown, used by the
+// ingest server's session results and the live windowed reporters).
+func (a *Analysis) StateCounts() [3]int {
+	var counts [3]int
+	for _, s := range a.State {
+		counts[s]++
+	}
+	return counts
+}
+
+// StridedCount returns the number of misses classified as strided.
+func (a *Analysis) StridedCount() int {
+	n := 0
+	for _, s := range a.Strided {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
 // Fractions returns the Figure 2 breakdown: fraction of misses that are
 // non-repetitive, in a new stream, and in a recurring stream.
 func (a *Analysis) Fractions() (nonRep, newStream, recurring float64) {
 	if len(a.State) == 0 {
 		return 0, 0, 0
 	}
-	var counts [3]int
-	for _, s := range a.State {
-		counts[s]++
-	}
+	counts := a.StateCounts()
 	n := float64(len(a.State))
 	return float64(counts[NonRepetitive]) / n,
 		float64(counts[NewStream]) / n,

@@ -1,0 +1,65 @@
+package server_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// BenchmarkIngestServer measures end-to-end ingest throughput over
+// loopback: four concurrent clients stream pre-generated classified
+// misses through the wire protocol into bounded analysis sessions, the
+// tsload shape without simulator cost. The records/sec metric lands in
+// the BENCH_<n>.json trajectory artifact (CI runs this in the -short
+// smoke pass).
+func BenchmarkIngestServer(b *testing.B) {
+	const (
+		clients  = 4
+		nRecords = 100_000
+		window   = 50_000
+	)
+	srv, err := server.Listen("127.0.0.1:0", server.Config{})
+	if err != nil {
+		b.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	streams := make([][]trace.Miss, clients)
+	for c := range streams {
+		streams[c] = synthMisses(nRecords, 4, int64(c+1))
+	}
+	req := server.Request{Label: "bench", Analysis: core.Options{MaxMisses: window}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cs, err := server.DialSession(addr, 4, req)
+				if err != nil {
+					b.Errorf("dial: %v", err)
+					return
+				}
+				for _, m := range streams[c] {
+					cs.Append(m)
+				}
+				cs.Finish(trace.Header{Misses: nRecords, Instructions: nRecords * 100, CPUs: 4})
+				if _, err := cs.Result(); err != nil {
+					b.Errorf("Result: %v", err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := float64(b.N) * clients * nRecords
+	b.ReportMetric(total/b.Elapsed().Seconds(), "records/sec")
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ClientSession is the client half of one ingest session: a trace.Sink
+// that streams every record over the wire protocol, so a producer
+// (workload.RunStream, a decoder replaying an archive, any Sink driver)
+// plugs into a remote tsserved exactly as it would into a local analyzer.
+// Drive it with Append/Finish, then call Result to collect the server's
+// analysis.
+type ClientSession struct {
+	conn net.Conn
+	enc  *wire.Encoder
+	br   *bufio.Reader
+
+	resp     *SessionResult
+	finished bool
+	err      error
+}
+
+// DialSession opens a connection to a tsserved ingest address and
+// negotiates one session for a cpus-processor miss stream. The request's
+// analysis options and prefetch config select what the server computes.
+func DialSession(addr string, cpus int, req Request) (*ClientSession, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: sending request: %w", err)
+	}
+	c := &ClientSession{
+		conn: conn,
+		enc:  wire.NewEncoder(conn, cpus),
+		br:   bufio.NewReader(conn),
+	}
+	if err := c.enc.Err(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Append implements trace.Sink.
+func (c *ClientSession) Append(m trace.Miss) { c.enc.Append(m) }
+
+// Finish implements trace.Sink.
+func (c *ClientSession) Finish(h trace.Header) { c.enc.Finish(h) }
+
+// Records returns how many records have been streamed so far.
+func (c *ClientSession) Records() int64 { return c.enc.Records() }
+
+// Result completes the session: it writes the stream trailer, waits for
+// the server's response, and closes the connection. Call exactly once,
+// after Finish.
+func (c *ClientSession) Result() (*SessionResult, error) {
+	if c.resp != nil || c.err != nil {
+		return c.resp, c.err
+	}
+	defer c.conn.Close()
+	if err := c.enc.Close(); err != nil {
+		c.err = err
+		return nil, err
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		c.err = fmt.Errorf("client: reading response: %w", err)
+		return nil, c.err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		c.err = fmt.Errorf("client: parsing response: %w", err)
+		return nil, c.err
+	}
+	if resp.Error != "" {
+		c.err = fmt.Errorf("client: server: %s", resp.Error)
+		return nil, c.err
+	}
+	if resp.Result == nil {
+		c.err = errors.New("client: empty response")
+		return nil, c.err
+	}
+	c.resp = resp.Result
+	return c.resp, nil
+}
+
+// Close abandons the session without waiting for a result (error paths).
+func (c *ClientSession) Close() error { return c.conn.Close() }

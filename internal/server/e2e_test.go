@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestEndToEndBinaries is the full-system smoke: build the real tsserved
+// and tsload binaries (race-instrumented when this test binary is), start
+// the daemon on a loopback port, drive it with 4 concurrent clients, and
+// assert a clean drain on SIGTERM. This is the CI race step's end-to-end
+// coverage of the wire protocol, the session multiplexing, and the
+// shutdown path as shipped, not as linked into a test binary.
+func TestEndToEndBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary end-to-end smoke in short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+
+	dir := t.TempDir()
+	buildArgs := []string{"build"}
+	if raceEnabled {
+		buildArgs = append(buildArgs, "-race")
+	}
+	for _, cmd := range []string{"tsserved", "tsload"} {
+		args := append(buildArgs, "-o", filepath.Join(dir, cmd), "./cmd/"+cmd)
+		build := exec.Command(goTool, args...)
+		build.Dir = repoRoot(t)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	// Start the daemon on an ephemeral port and parse the bound address
+	// from its readiness line.
+	served := exec.Command(filepath.Join(dir, "tsserved"),
+		"-addr", "127.0.0.1:0", "-max-sessions", "4")
+	stdout, err := served.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	served.Stderr = os.Stderr
+	if err := served.Start(); err != nil {
+		t.Fatalf("starting tsserved: %v", err)
+	}
+	defer served.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 16)
+	go func() {
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	for addr == "" {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("tsserved exited before announcing its address")
+			}
+			if rest, found := strings.CutPrefix(line, "tsserved: listening on "); found {
+				addr = strings.Fields(rest)[0]
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for tsserved readiness line")
+		}
+	}
+
+	// 4 clients, 4 jobs (2 apps x 2 machines), intra-chip sessions too.
+	load := exec.Command(filepath.Join(dir, "tsload"),
+		"-addr", addr, "-clients", "4", "-apps", "apache,oltp",
+		"-machine", "both", "-intra", "-target", "4000")
+	load.Dir = repoRoot(t)
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tsload: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("0 sessions failed")) || !bytes.Contains(out, []byte("records/sec aggregate")) {
+		t.Fatalf("tsload output missing success summary:\n%s", out)
+	}
+
+	// Clean drain: SIGTERM, expect the drain summary and exit code 0.
+	if err := served.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling tsserved: %v", err)
+	}
+	var drained bool
+	for line := range lineCh {
+		if strings.Contains(line, "drained:") {
+			drained = true
+		}
+	}
+	if err := served.Wait(); err != nil {
+		t.Fatalf("tsserved did not exit cleanly: %v", err)
+	}
+	if !drained {
+		t.Errorf("tsserved never printed its drain summary")
+	}
+}
+
+// repoRoot locates the module root (two levels above this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found from %s", wd)
+	}
+	return root
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server_test
+
+// raceEnabled reports whether the race detector is compiled into this
+// test binary; the end-to-end smoke builds the daemon and load-generator
+// binaries with the same instrumentation.
+const raceEnabled = true

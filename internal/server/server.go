@@ -1,0 +1,480 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tempstream "repro"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Session states, as reported by Stats.
+const (
+	StateQueued    = "queued"    // waiting for a session slot
+	StateReceiving = "receiving" // decoding the client's stream
+	StateDone      = "done"
+	StateFailed    = "failed"
+)
+
+// requestLimit bounds the negotiation line; a request is a small JSON
+// object, so anything larger is a confused or hostile client.
+const requestLimit = 64 << 10
+
+// finishedTTL is how long a completed session stays visible in Stats
+// before being pruned from the table.
+const finishedTTL = time.Minute
+
+// Prefetch-config ceilings: a server session never evaluates the
+// idealized unbounded prefetcher (HistoryLen/BufferBlocks 0), because its
+// structures would grow with the stream; requests must pin both bounds.
+const (
+	MaxPrefetchHistory = 1 << 20
+	MaxPrefetchBuffer  = 1 << 18
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxSessions bounds how many sessions are concurrently bound to
+	// analyzers; further sessions queue (the protocol's backpressure
+	// reaches their producers through the unread socket). 0 means 16.
+	MaxSessions int
+	// MaxWindow clamps the per-session analysis window a client may
+	// request (core.Options.MaxMisses), bounding per-session memory.
+	// 0 means the analysis default (core.DefaultMaxMisses); the clamp is
+	// always enforced.
+	MaxWindow int
+	// QueueTimeout bounds how long a session may wait for an analyzer
+	// slot before failing with a busy error. The bound matters for
+	// deadlock avoidance, not just fairness: a producer multiplexing
+	// several sessions (one simulation feeding off-chip and intra-chip
+	// streams) can hold a slot with one session while blocked writing to
+	// a queued partner — the timeout turns that cycle into a clean
+	// failure. 0 means 30s.
+	QueueTimeout time.Duration
+	// IdleTimeout bounds the gap between a connection's reads: a peer
+	// that goes silent (never sends its request, stalls mid-stream, dies
+	// without FIN) errors out instead of pinning a goroutine — and, once
+	// admitted, an analyzer slot — forever. 0 means 2m.
+	IdleTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 16
+	}
+	if c.MaxWindow == 0 {
+		c.MaxWindow = core.DefaultMaxMisses
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// idleConn enforces Config.IdleTimeout: every Read re-arms the deadline,
+// so only a silent peer trips it, never a slow-but-flowing stream.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Server is the ingest daemon: it accepts connections, multiplexes
+// bounded concurrent sessions onto the pooled streaming-analysis
+// machinery, and serves live stats. Create with Listen, run with Serve,
+// stop with Shutdown (graceful drain) or Close.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	slots chan struct{}
+	force chan struct{} // closed when a drain deadline expires
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	closed   bool
+	forced   bool
+
+	nextID        atomic.Uint64
+	totalSessions atomic.Int64
+	totalFailed   atomic.Int64
+	totalRecords  atomic.Int64
+
+	activeConns sync.WaitGroup
+	start       time.Time
+}
+
+// session is the server-side state of one connection's stream.
+type session struct {
+	id      uint64
+	label   string
+	remote  string
+	conn    net.Conn
+	started time.Time
+
+	state   atomic.Pointer[string]
+	records atomic.Int64
+	// Final summary for the stats endpoint, set under Server.mu once done.
+	streamFrac float64
+	mpki       float64
+	finished   time.Time
+}
+
+func (s *session) setState(st string) { s.state.Store(&st) }
+
+// Listen binds the ingest listener on addr (e.g. ":7465" or
+// "127.0.0.1:0") but does not accept yet; call Serve.
+func Listen(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		slots:    make(chan struct{}, cfg.MaxSessions),
+		force:    make(chan struct{}),
+		sessions: make(map[uint64]*session),
+		start:    time.Now(),
+	}, nil
+}
+
+// Addr returns the bound ingest address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts and handles connections until Shutdown or Close; it
+// returns ErrServerClosed on a deliberate stop, or the accept error.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.activeConns.Add(1)
+		go func() {
+			defer s.activeConns.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and drains: in-flight and queued sessions run
+// to completion. If ctx expires first, remaining connections are closed
+// forcibly and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.activeConns.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if !s.forced {
+			s.forced = true
+			close(s.force) // unblock queued sessions
+		}
+		for _, sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately (no drain).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(ctx); err != nil && err != context.Canceled {
+		return err
+	}
+	return nil
+}
+
+// countingSink forwards to the session's analysis sink while counting
+// records for the stats endpoint.
+type countingSink struct {
+	inner trace.Sink
+	n     *atomic.Int64
+}
+
+func (c *countingSink) Append(m trace.Miss) {
+	c.n.Add(1)
+	c.inner.Append(m)
+}
+func (c *countingSink) Finish(h trace.Header) { c.inner.Finish(h) }
+
+// register adds a session to the stats table, pruning stale finished
+// entries so the table stays bounded even if nobody scrapes stats.
+func (s *Server) register(sess *session) {
+	now := time.Now()
+	s.mu.Lock()
+	for id, old := range s.sessions {
+		state := *old.state.Load()
+		if (state == StateDone || state == StateFailed) && now.Sub(old.finished) > finishedTTL {
+			delete(s.sessions, id)
+		}
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+}
+
+// handle runs one connection's session end to end.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{
+		id:      s.nextID.Add(1),
+		remote:  conn.RemoteAddr().String(),
+		conn:    conn,
+		started: time.Now(),
+	}
+	sess.setState(StateQueued)
+	s.register(sess)
+	s.totalSessions.Add(1)
+
+	res, err := s.runSession(sess, conn)
+
+	var resp Response
+	if err != nil {
+		s.totalFailed.Add(1)
+		resp.Error = err.Error()
+	} else {
+		resp.Result = res
+	}
+	s.mu.Lock()
+	if err != nil {
+		sess.setState(StateFailed)
+	} else {
+		sess.setState(StateDone)
+		sess.streamFrac = res.StreamFrac
+		sess.mpki = res.MPKI
+	}
+	sess.finished = time.Now()
+	s.mu.Unlock()
+
+	bw := bufio.NewWriter(conn)
+	if err := json.NewEncoder(bw).Encode(resp); err == nil {
+		bw.Flush()
+	}
+}
+
+// runSession negotiates, acquires a slot, and streams the connection's
+// records through a tempstream.Session.
+func (s *Server) runSession(sess *session, conn net.Conn) (*SessionResult, error) {
+	br := bufio.NewReaderSize(&idleConn{Conn: conn, timeout: s.cfg.IdleTimeout}, 64<<10)
+
+	// Negotiation: one JSON line.
+	line, err := readLine(br, requestLimit)
+	if err != nil {
+		return nil, fmt.Errorf("reading request: %w", err)
+	}
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return nil, fmt.Errorf("parsing request: %w", err)
+	}
+	// The session is already visible to Stats, so the label lands under
+	// the same lock Stats reads with.
+	s.mu.Lock()
+	sess.label = req.Label
+	s.mu.Unlock()
+	if req.Analysis.MaxMisses < 0 {
+		return nil, fmt.Errorf("analysis window %d is negative", req.Analysis.MaxMisses)
+	}
+	if req.Analysis.MaxMisses == 0 || req.Analysis.MaxMisses > s.cfg.MaxWindow {
+		req.Analysis.MaxMisses = s.cfg.MaxWindow
+	}
+	if pf := req.Prefetch; pf != nil {
+		if pf.HistoryLen < 1 || pf.HistoryLen > MaxPrefetchHistory ||
+			pf.BufferBlocks < 1 || pf.BufferBlocks > MaxPrefetchBuffer {
+			return nil, fmt.Errorf("prefetch config must be bounded: history_len in [1,%d], buffer_blocks in [1,%d]",
+				MaxPrefetchHistory, MaxPrefetchBuffer)
+		}
+	}
+
+	// Admission: one of MaxSessions analyzer bindings. While queued, the
+	// client's stream backs up in the socket — that is the protocol's
+	// backpressure, not an error. The wait is bounded (see
+	// Config.QueueTimeout) so producers multiplexing several sessions
+	// cannot deadlock the slot pool.
+	timeout := time.NewTimer(s.cfg.QueueTimeout)
+	defer timeout.Stop()
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.force:
+		return nil, errors.New("server draining")
+	case <-timeout.C:
+		return nil, fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout)
+	}
+	defer func() { <-s.slots }()
+	sess.setState(StateReceiving)
+
+	dec := wire.NewDecoder(br)
+	meta, err := dec.Meta()
+	if err != nil {
+		return nil, err
+	}
+	// A per-CPU prefetcher allocates one engine per processor, so the
+	// memory ceiling applies to the product, not the per-engine bounds —
+	// checkable only now that the wire header has declared the CPU count.
+	if pf := req.Prefetch; pf != nil && pf.PerCPU {
+		if pf.HistoryLen*meta.CPUs > MaxPrefetchHistory || pf.BufferBlocks*meta.CPUs > MaxPrefetchBuffer {
+			return nil, fmt.Errorf("per-cpu prefetch config exceeds ceilings at %d cpus: history_len*cpus <= %d, buffer_blocks*cpus <= %d",
+				meta.CPUs, MaxPrefetchHistory, MaxPrefetchBuffer)
+		}
+	}
+	ts := tempstream.NewSession(meta.CPUs, 0, tempstream.StreamOptions{
+		Analysis: req.Analysis,
+		Prefetch: req.Prefetch,
+	})
+	if _, err := dec.Run(&countingSink{inner: ts, n: &sess.records}); err != nil {
+		ts.Abandon()
+		return nil, err
+	}
+	s.totalRecords.Add(sess.records.Load())
+	return ResultOf(ts.Result(nil)), nil
+}
+
+// readLine reads one \n-terminated line of at most limit bytes without
+// buffering an unbounded amount.
+func readLine(br *bufio.Reader, limit int) ([]byte, error) {
+	var line []byte
+	for len(line) <= limit {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if b == '\n' {
+			return line, nil
+		}
+		line = append(line, b)
+	}
+	return nil, fmt.Errorf("request exceeds %d bytes", limit)
+}
+
+// SessionStats is one session's row in the stats snapshot.
+type SessionStats struct {
+	ID            uint64  `json:"id"`
+	Label         string  `json:"label,omitempty"`
+	Remote        string  `json:"remote"`
+	State         string  `json:"state"`
+	Records       int64   `json:"records"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	StreamFrac    float64 `json:"stream_frac,omitempty"` // set once done
+	MPKI          float64 `json:"mpki,omitempty"`        // set once done
+}
+
+// Stats is a point-in-time snapshot of the server.
+type Stats struct {
+	UptimeSeconds    float64        `json:"uptime_seconds"`
+	MaxSessions      int            `json:"max_sessions"`
+	ActiveSessions   int            `json:"active_sessions"`
+	QueuedSessions   int            `json:"queued_sessions"`
+	TotalSessions    int64          `json:"total_sessions"`
+	FailedSessions   int64          `json:"failed_sessions"`
+	TotalRecords     int64          `json:"total_records"`
+	IngestRecsPerSec float64        `json:"ingest_records_per_sec"` // completed records / uptime
+	Sessions         []SessionStats `json:"sessions"`
+}
+
+// Stats snapshots the server: aggregate counters plus one row per live or
+// recently finished session (per-session records, records/sec, and — once
+// the session completed — its stream fraction and MPKI).
+func (s *Server) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		UptimeSeconds:  now.Sub(s.start).Seconds(),
+		MaxSessions:    s.cfg.MaxSessions,
+		TotalSessions:  s.totalSessions.Load(),
+		FailedSessions: s.totalFailed.Load(),
+		TotalRecords:   s.totalRecords.Load(),
+	}
+	if st.UptimeSeconds > 0 {
+		st.IngestRecsPerSec = float64(st.TotalRecords) / st.UptimeSeconds
+	}
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		state := *sess.state.Load()
+		end := now
+		if state == StateDone || state == StateFailed {
+			end = sess.finished
+		}
+		secs := end.Sub(sess.started).Seconds()
+		row := SessionStats{
+			ID:      sess.id,
+			Label:   sess.label,
+			Remote:  sess.remote,
+			State:   state,
+			Records: sess.records.Load(),
+			Seconds: secs,
+		}
+		if secs > 0 {
+			row.RecordsPerSec = float64(row.Records) / secs
+		}
+		switch state {
+		case StateQueued:
+			st.QueuedSessions++
+		case StateReceiving:
+			st.ActiveSessions++
+		case StateDone:
+			row.StreamFrac = sess.streamFrac
+			row.MPKI = sess.mpki
+		}
+		st.Sessions = append(st.Sessions, row)
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}
+
+// StatsHandler serves the live stats snapshot as JSON (mount on an HTTP
+// mux, e.g. tsserved's -stats listener).
+func (s *Server) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+}

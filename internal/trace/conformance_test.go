@@ -1,0 +1,52 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/sinktest"
+)
+
+// recorder is the reference observable sink.
+type recorder struct {
+	misses   []trace.Miss
+	finishes []trace.Header
+}
+
+func (r *recorder) Append(m trace.Miss)   { r.misses = append(r.misses, m) }
+func (r *recorder) Finish(h trace.Header) { r.finishes = append(r.finishes, h) }
+
+func (r *recorder) observed() (sinktest.Observed, bool) {
+	return sinktest.Observed{Misses: r.misses, Finishes: r.finishes}, true
+}
+
+// TestSinkConformance applies the shared harness to the trace package's
+// own Sink implementations: the materializing *Trace, the Tee combinator
+// (every branch must see the full ordered stream), and the blind Discard.
+func TestSinkConformance(t *testing.T) {
+	sinktest.Run(t, "Trace", 5000, 4, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+		tr := &trace.Trace{}
+		return tr, func() (sinktest.Observed, bool) {
+			finishes := []trace.Header{{Misses: tr.Len(), Instructions: tr.Instructions, CPUs: tr.CPUs}}
+			// A fresh Trace cannot distinguish zero Finishes from one; the
+			// header fold is the observable. Misses order is exact.
+			return sinktest.Observed{Misses: tr.Misses, Finishes: finishes}, true
+		}
+	})
+
+	sinktest.Run(t, "Tee", 5000, 4, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+		a, b := &recorder{}, &recorder{}
+		return trace.Tee{a, b}, func() (sinktest.Observed, bool) {
+			// Both branches must agree; check b against a, report a.
+			if len(a.misses) != len(b.misses) || len(a.finishes) != len(b.finishes) {
+				t.Errorf("tee branches diverge: %d/%d misses, %d/%d finishes",
+					len(a.misses), len(b.misses), len(a.finishes), len(b.finishes))
+			}
+			return a.observed()
+		}
+	})
+
+	sinktest.Run(t, "Discard", 5000, 4, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+		return trace.Discard{}, nil
+	})
+}

@@ -39,6 +39,33 @@ func NewSymbolTable(as *memmap.AddressSpace) *SymbolTable {
 	return st
 }
 
+// NewStaticSymbolTable rebuilds a lookup-only table from previously
+// exported descriptors (e.g. a wire-format trailer): Func, CategoryOf, and
+// Lookup work as on the original table, but the table owns no address
+// space, so Register must not be called. funcs is indexed by FuncID; an
+// empty slice yields a table holding only "<unknown>".
+func NewStaticSymbolTable(funcs []Func) *SymbolTable {
+	if len(funcs) == 0 {
+		return NewSymbolTable(nil)
+	}
+	st := &SymbolTable{byName: make(map[string]FuncID, len(funcs))}
+	st.funcs = append(st.funcs, funcs...)
+	for i := range st.funcs {
+		st.funcs[i].ID = FuncID(i)
+		st.byName[st.funcs[i].Name] = FuncID(i)
+	}
+	return st
+}
+
+// Funcs returns a copy of every registered descriptor, indexed by FuncID
+// (so Funcs()[0] is "<unknown>"). It is the serialization companion of
+// NewStaticSymbolTable.
+func (st *SymbolTable) Funcs() []Func {
+	out := make([]Func, len(st.funcs))
+	copy(out, st.funcs)
+	return out
+}
+
 // Register adds a function with the given instruction footprint in bytes
 // (rounded up to whole blocks; zero means no code region, e.g. for
 // pseudo-functions). Registering the same name twice panics: the workload

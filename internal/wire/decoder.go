@@ -1,0 +1,337 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Decoder reads a wire stream and drives any trace.Sink with its records:
+// the replay side of the codec, shared by `tstrace -replay` and the
+// tsserved ingest loop. A Decoder validates as it goes — magic, version,
+// per-frame CRC, record bounds, and the trailer's total record count — and
+// returns an error rather than panicking on any malformed input (fuzzed in
+// FuzzDecoder).
+//
+// Memory is O(frame): the decoder holds one frame payload at a time
+// (bounded by maxFramePayload) plus the per-CPU delta chain, never the
+// stream.
+type Decoder struct {
+	r    *bufio.Reader
+	meta Meta
+	prev []uint64 // last block seen per CPU
+
+	payload []byte // reusable frame-payload buffer
+	read    bool   // header frame consumed
+	err     error
+}
+
+// NewDecoder prepares a decoder over r. No bytes are read until Meta or
+// Run.
+func NewDecoder(r io.Reader) *Decoder {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &Decoder{r: br}
+	}
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// fail records and returns the decoder's terminal error.
+func (d *Decoder) fail(format string, args ...any) error {
+	d.err = fmt.Errorf("wire: "+format, args...)
+	return d.err
+}
+
+// readFrame reads one frame, verifies its CRC, and returns its kind and
+// payload (valid until the next readFrame).
+func (d *Decoder) readFrame() (byte, []byte, error) {
+	kind, err := d.r.ReadByte()
+	if err == io.EOF {
+		return 0, nil, io.EOF // clean frame boundary; callers decide if it is premature
+	}
+	if err != nil {
+		return 0, nil, d.fail("reading frame kind: %v", err)
+	}
+	size, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, d.fail("frame %c length: %v", kind, noEOF(err))
+	}
+	if size > maxFramePayload {
+		return 0, nil, d.fail("frame %c payload %d exceeds limit", kind, size)
+	}
+	if uint64(cap(d.payload)) < size {
+		d.payload = make([]byte, size)
+	}
+	p := d.payload[:size]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		return 0, nil, d.fail("frame %c payload: %v", kind, noEOF(err))
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(d.r, crcBuf[:]); err != nil {
+		return 0, nil, d.fail("frame %c crc: %v", kind, noEOF(err))
+	}
+	if want := binary.LittleEndian.Uint32(crcBuf[:]); crc32.Checksum(p, crcTable) != want {
+		return 0, nil, d.fail("frame %c crc mismatch", kind)
+	}
+	return kind, p, nil
+}
+
+// noEOF maps io.EOF to io.ErrUnexpectedEOF: inside a frame, running out of
+// bytes is truncation, not a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Meta reads the stream magic and header frame (on first call) and
+// returns what the stream declares about itself.
+func (d *Decoder) Meta() (Meta, error) {
+	if d.err != nil {
+		return Meta{}, d.err
+	}
+	if d.read {
+		return d.meta, nil
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(d.r, m[:]); err != nil {
+		return Meta{}, d.fail("reading magic: %v", noEOF(err))
+	}
+	if m != magic {
+		return Meta{}, d.fail("bad magic %q", m[:])
+	}
+	kind, p, err := d.readFrame()
+	if err != nil {
+		if err == io.EOF {
+			return Meta{}, d.fail("missing header frame: %v", io.ErrUnexpectedEOF)
+		}
+		return Meta{}, err
+	}
+	if kind != kindHeader {
+		return Meta{}, d.fail("first frame is %c, want header", kind)
+	}
+	v, p, ok := uvarint(p)
+	if !ok || v != version {
+		return Meta{}, d.fail("unsupported version %d", v)
+	}
+	cpus, p, ok := uvarint(p)
+	if !ok || cpus == 0 || cpus > maxCPUs {
+		return Meta{}, d.fail("invalid cpu count %d", cpus)
+	}
+	if len(p) != 0 {
+		return Meta{}, d.fail("trailing bytes in header frame")
+	}
+	d.meta = Meta{Version: int(v), CPUs: int(cpus)}
+	d.prev = make([]uint64, cpus)
+	d.read = true
+	return d.meta, nil
+}
+
+// uvarint consumes one uvarint from p.
+func uvarint(p []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+// varint consumes one zig-zag varint from p.
+func varint(p []byte) (int64, []byte, bool) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, p, false
+	}
+	return v, p[n:], true
+}
+
+// Run decodes the remainder of the stream, calling sink.Append once per
+// record in stream order and, when the trailer arrives, sink.Finish with
+// the stream's header. It returns the trailer (totals plus any symbol
+// table). On error the sink has received a prefix of the records and no
+// Finish.
+func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
+	if _, err := d.Meta(); err != nil {
+		return Trailer{}, err
+	}
+	records := int64(0)
+	for {
+		kind, p, err := d.readFrame()
+		if err != nil {
+			if err == io.EOF {
+				return Trailer{}, d.fail("stream truncated before trailer (%d records decoded)", records)
+			}
+			return Trailer{}, err
+		}
+		switch kind {
+		case kindData:
+			n, err := d.decodeData(p, sink)
+			records += n
+			if err != nil {
+				return Trailer{}, err
+			}
+		case kindTrailer:
+			tr, err := d.decodeTrailer(p)
+			if err != nil {
+				return Trailer{}, err
+			}
+			if int64(tr.Header.Misses) != records {
+				return Trailer{}, d.fail("trailer claims %d records, stream carried %d", tr.Header.Misses, records)
+			}
+			if tr.Header.CPUs != d.meta.CPUs {
+				return Trailer{}, d.fail("trailer cpu count %d != header %d", tr.Header.CPUs, d.meta.CPUs)
+			}
+			// The trailer ends the stream; Run does NOT demand EOF after
+			// it, because on a network connection the transport stays open
+			// (the ingest response travels back on it). File consumers use
+			// ReadAll (or ExpectEOF) to reject trailing garbage.
+			sink.Finish(tr.Header)
+			return tr, nil
+		case kindHeader:
+			return Trailer{}, d.fail("duplicate header frame")
+		default:
+			return Trailer{}, d.fail("unknown frame kind %#x", kind)
+		}
+	}
+}
+
+// decodeData parses one data frame's records into sink; n is how many were
+// delivered before any error.
+func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
+	count, p, ok := uvarint(p)
+	if !ok {
+		return 0, d.fail("data frame count")
+	}
+	// Each record is at least 3 bytes; an overlarge count is corruption.
+	if count > uint64(len(p)) {
+		return 0, d.fail("data frame claims %d records in %d bytes", count, len(p))
+	}
+	for i := uint64(0); i < count; i++ {
+		var key, fn uint64
+		var delta int64
+		if key, p, ok = uvarint(p); !ok {
+			return int64(i), d.fail("record %d key", i)
+		}
+		cpu := key >> 4
+		class := trace.MissClass(key >> 2 & 3)
+		supplier := trace.Supplier(key & 3)
+		if cpu >= uint64(d.meta.CPUs) {
+			return int64(i), d.fail("record cpu %d out of range (%d cpus)", cpu, d.meta.CPUs)
+		}
+		if class >= trace.NumMissClasses || supplier >= trace.NumSuppliers {
+			return int64(i), d.fail("record class/supplier %d/%d invalid", class, supplier)
+		}
+		if fn, p, ok = uvarint(p); !ok {
+			return int64(i), d.fail("record %d func", i)
+		}
+		if fn >= maxFuncs {
+			return int64(i), d.fail("record func id %d out of range", fn)
+		}
+		if delta, p, ok = varint(p); !ok {
+			return int64(i), d.fail("record %d addr delta", i)
+		}
+		block := int64(d.prev[cpu]) + delta
+		if block < 0 || block >= 1<<58 {
+			return int64(i), d.fail("record %d block %d out of range", i, block)
+		}
+		d.prev[cpu] = uint64(block)
+		sink.Append(trace.Miss{
+			Addr:     uint64(block) << 6,
+			Func:     trace.FuncID(fn),
+			CPU:      uint8(cpu),
+			Class:    class,
+			Supplier: supplier,
+		})
+	}
+	if len(p) != 0 {
+		return int64(count), d.fail("trailing bytes in data frame")
+	}
+	return int64(count), nil
+}
+
+// decodeTrailer parses the trailer payload.
+func (d *Decoder) decodeTrailer(p []byte) (Trailer, error) {
+	var tr Trailer
+	misses, p, ok := uvarint(p)
+	if !ok || misses > 1<<40 {
+		return tr, d.fail("trailer miss count")
+	}
+	instr, p, ok := uvarint(p)
+	if !ok {
+		return tr, d.fail("trailer instruction count")
+	}
+	cpus, p, ok := uvarint(p)
+	if !ok || cpus == 0 || cpus > maxCPUs {
+		return tr, d.fail("trailer cpu count")
+	}
+	nfuncs, p, ok := uvarint(p)
+	if !ok || nfuncs > maxFuncs {
+		return tr, d.fail("trailer func count")
+	}
+	if nfuncs > 0 {
+		tr.Funcs = make([]FuncMeta, 0, min(nfuncs, 1024))
+		for i := uint64(0); i < nfuncs; i++ {
+			if len(p) == 0 {
+				return tr, d.fail("trailer func %d: truncated", i)
+			}
+			cat := trace.Category(p[0])
+			if cat >= trace.NumCategories {
+				return tr, d.fail("trailer func %d: invalid category %d", i, cat)
+			}
+			p = p[1:]
+			var nameLen uint64
+			if nameLen, p, ok = uvarint(p); !ok || nameLen > maxNameLen {
+				return tr, d.fail("trailer func %d: name length", i)
+			}
+			if uint64(len(p)) < nameLen {
+				return tr, d.fail("trailer func %d: truncated name", i)
+			}
+			tr.Funcs = append(tr.Funcs, FuncMeta{Name: string(p[:nameLen]), Category: cat})
+			p = p[nameLen:]
+		}
+	}
+	if len(p) != 0 {
+		return tr, d.fail("trailing bytes in trailer frame")
+	}
+	tr.Header = trace.Header{Misses: int(misses), Instructions: instr, CPUs: int(cpus)}
+	return tr, nil
+}
+
+// ExpectEOF verifies the input is exhausted after the trailer — the
+// integrity posture for self-contained archives, where bytes past the
+// trailer mean a corrupt or concatenated file. Call after Run.
+func (d *Decoder) ExpectEOF() error {
+	if d.err != nil {
+		return d.err
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		if err != nil {
+			return d.fail("after trailer: %v", err)
+		}
+		return d.fail("data after trailer")
+	}
+	return nil
+}
+
+// ReadAll decodes a whole self-contained stream into a materialized
+// trace: the record/replay convenience for consumers that want the batch
+// shape. Trailing bytes after the trailer are an error.
+func ReadAll(r io.Reader) (*trace.Trace, Trailer, error) {
+	d := NewDecoder(r)
+	t := &trace.Trace{}
+	if _, err := d.Meta(); err != nil {
+		return nil, Trailer{}, err
+	}
+	tr, err := d.Run(t)
+	if err != nil {
+		return nil, Trailer{}, err
+	}
+	if err := d.ExpectEOF(); err != nil {
+		return nil, Trailer{}, err
+	}
+	return t, tr, nil
+}

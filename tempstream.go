@@ -19,6 +19,11 @@
 //		tempstream.StreamOptions{})
 //	fmt.Println(exp.Context(tempstream.MultiChipCtx).Analysis.StreamFraction())
 //
+// The streaming consumer behind CollectStreaming is exported as Session
+// (a trace.Sink over a pooled incremental analyzer), so other producers —
+// the tsserved ingest daemon's network sessions (internal/server), wire-
+// format archive replays (internal/wire) — feed the identical machinery.
+//
 // The analyses are hardware-independent (Section 3 of the paper): streams
 // are identified by SEQUITUR grammar inference over the miss-address
 // sequence, with no assumptions about any particular prefetcher.
@@ -279,18 +284,30 @@ type StreamOptions struct {
 	KeepTraces bool
 }
 
-// streamChunk bounds the ctxSink's batching buffer (misses). Feeding the
+// streamChunk bounds the Session's batching buffer (misses). Feeding the
 // analyzer in bursts rather than per record keeps the grammar's tables hot
 // across consecutive symbols instead of competing with the simulator's
 // memory traffic on every miss; 32k records is 512 KB — still O(1) per
 // context, far below any analysis window.
 const streamChunk = 32768
 
-// ctxSink is the per-context streaming consumer: it tees each record into
-// the incremental analyzer, the optional prefetcher evaluation, and the
-// optional materializing trace, amortizing the per-record work over
-// bounded chunks.
-type ctxSink struct {
+// Session is the streaming consumer of one classified miss stream: a
+// trace.Sink that tees each record into a pooled incremental analyzer, an
+// optional prefetcher evaluation, and an optional materializing trace,
+// amortizing the per-record work over bounded chunks. It is the shared
+// entry point of every streaming consumer in the system: CollectStreaming
+// runs one Session per analysis context, and the tsserved ingest daemon
+// binds one to each network session (internal/server), so a stream fed
+// over the wire lands in exactly the machinery an in-process collection
+// uses.
+//
+// Peak memory is O(window): once the analyzer's window is full and no
+// other consumer is attached, further records are dropped in O(1) with no
+// allocation. A Session is driven from one goroutine (the Sink contract);
+// Result must be called exactly once, after Finish, to collect the
+// analyses and return the pooled analyzer — or Abandon to discard a
+// partially-fed session (e.g. a network stream that errored mid-flight).
+type Session struct {
 	chunk []trace.Miss
 	// inert is set once every consumer is saturated (analysis window full,
 	// no prefetcher, no kept trace): the remaining records need no work at
@@ -303,10 +320,11 @@ type ctxSink struct {
 	header trace.Header
 }
 
-// newCtxSink prepares one context's consumers; expect is the anticipated
-// window length, used purely to presize storage.
-func newCtxSink(cpus, expect int, opts StreamOptions) *ctxSink {
-	s := &ctxSink{
+// NewSession prepares the consumers for one miss stream of a
+// cpus-processor machine; expect is the anticipated window length, used
+// purely to presize storage (0 is fine: storage grows on demand).
+func NewSession(cpus, expect int, opts StreamOptions) *Session {
+	s := &Session{
 		chunk: make([]trace.Miss, 0, streamChunk),
 		an:    analyzerPool.Get().(*core.Analyzer),
 	}
@@ -324,7 +342,7 @@ func newCtxSink(cpus, expect int, opts StreamOptions) *ctxSink {
 
 // Append implements trace.Sink: one bounds-checked store per record, with
 // the consumers run chunk-at-a-time from flush.
-func (s *ctxSink) Append(m trace.Miss) {
+func (s *Session) Append(m trace.Miss) {
 	if s.inert {
 		return
 	}
@@ -336,7 +354,7 @@ func (s *ctxSink) Append(m trace.Miss) {
 
 // flush drains the chunk through the analyzer, prefetcher, and trace in
 // record order.
-func (s *ctxSink) flush() {
+func (s *Session) flush() {
 	s.an.FeedAll(s.chunk)
 	if s.ev != nil {
 		for i := range s.chunk {
@@ -351,7 +369,7 @@ func (s *ctxSink) flush() {
 }
 
 // Finish implements trace.Sink.
-func (s *ctxSink) Finish(h trace.Header) {
+func (s *Session) Finish(h trace.Header) {
 	s.flush()
 	s.header = h
 	if s.tr != nil {
@@ -359,9 +377,11 @@ func (s *ctxSink) Finish(h trace.Header) {
 	}
 }
 
-// result completes the context's analyses and returns the Analyzer to the
-// pool.
-func (s *ctxSink) result(st *trace.SymbolTable) *ContextResult {
+// Result completes the session's analyses — the derivation walk and
+// reuse-distance sweep run here — and returns the pooled analyzer. st may
+// be nil when no symbol table accompanies the stream (network sessions);
+// category attribution is then unavailable on the result.
+func (s *Session) Result(st *trace.SymbolTable) *ContextResult {
 	cr := &ContextResult{
 		Trace:    s.tr,
 		Header:   s.header,
@@ -375,6 +395,16 @@ func (s *ctxSink) result(st *trace.SymbolTable) *ContextResult {
 		cr.Prefetch = &r
 	}
 	return cr
+}
+
+// Abandon discards a session without computing results, returning the
+// pooled analyzer; for streams that fail mid-flight. The Session must not
+// be used afterwards.
+func (s *Session) Abandon() {
+	if s.an != nil {
+		analyzerPool.Put(s.an)
+		s.an = nil
+	}
 }
 
 // CollectStreaming runs app on both machine models and analyzes all three
@@ -392,26 +422,26 @@ func CollectStreaming(app App, scale Scale, seed int64, target int, opts StreamO
 	exp := &Experiment{App: app, Scale: scale}
 	var sims par.Group
 	sims.Go(func() {
-		s := newCtxSink(workload.MultiChip.CPUCount(), expect, opts)
+		s := NewSession(workload.MultiChip.CPUCount(), expect, opts)
 		res := workload.RunStream(workload.Config{
 			App: app, Machine: workload.MultiChip, Scale: scale,
 			Seed: seed, TargetMisses: target,
 		}, s, nil)
 		exp.MultiChip = res
-		exp.Contexts[MultiChipCtx] = s.result(res.SymTab)
+		exp.Contexts[MultiChipCtx] = s.Result(res.SymTab)
 	})
 	sims.Go(func() {
-		off := newCtxSink(workload.SingleChip.CPUCount(), expect, opts)
+		off := NewSession(workload.SingleChip.CPUCount(), expect, opts)
 		// The intra-chip stream runs up to 40x the off-chip target (the
 		// workload runner's measurement cap).
-		intra := newCtxSink(workload.SingleChip.CPUCount(), 40*expect, opts)
+		intra := NewSession(workload.SingleChip.CPUCount(), 40*expect, opts)
 		res := workload.RunStream(workload.Config{
 			App: app, Machine: workload.SingleChip, Scale: scale,
 			Seed: seed, TargetMisses: target,
 		}, off, intra)
 		exp.SingleChip = res
-		exp.Contexts[SingleChipCtx] = off.result(res.SymTab)
-		exp.Contexts[IntraChipCtx] = intra.result(res.SymTab)
+		exp.Contexts[SingleChipCtx] = off.Result(res.SymTab)
+		exp.Contexts[IntraChipCtx] = intra.Result(res.SymTab)
 	})
 	sims.Wait()
 	return exp

@@ -1,0 +1,49 @@
+package tempstream
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/sinktest"
+)
+
+// TestSessionSinkConformance applies the shared Sink harness to the
+// streaming Session (the consumer behind CollectStreaming and the ingest
+// server). KeepTraces makes the session observable: the kept trace must
+// be the driven stream verbatim, and the result header the folded Finish.
+func TestSessionSinkConformance(t *testing.T) {
+	const cpus = 4
+	sinktest.Run(t, "tempstream.Session", 40000, cpus, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+		s := NewSession(cpus, 0, StreamOptions{KeepTraces: true})
+		return s, func() (sinktest.Observed, bool) {
+			cr := s.Result(nil)
+			return sinktest.Observed{
+				Misses:   cr.Trace.Misses,
+				Finishes: []trace.Header{cr.Header},
+			}, true
+		}
+	})
+}
+
+// TestSessionAbandon checks the error-path escape hatch: abandoning a
+// half-fed session must be safe, and the pooled analyzer must come back
+// reusable.
+func TestSessionAbandon(t *testing.T) {
+	s := NewSession(4, 0, StreamOptions{})
+	for _, m := range sinktest.Misses(10000, 4) {
+		s.Append(m)
+	}
+	s.Abandon()
+
+	// The pool must hand out working analyzers afterwards.
+	s2 := NewSession(4, 0, StreamOptions{})
+	misses := sinktest.Misses(5000, 4)
+	for _, m := range misses {
+		s2.Append(m)
+	}
+	s2.Finish(sinktest.Header(len(misses), 4))
+	cr := s2.Result(nil)
+	if len(cr.Analysis.Misses) != len(misses) {
+		t.Fatalf("post-abandon session analyzed %d misses, want %d", len(cr.Analysis.Misses), len(misses))
+	}
+}
