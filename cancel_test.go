@@ -1,0 +1,135 @@
+package tempstream
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the live goroutine count drops back to at
+// most want (plus the runtime's own background goroutines wobble), or the
+// deadline passes; it returns the last observed count.
+func settleGoroutines(want int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for {
+		runtime.Gosched()
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(end) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelMidSimulationHygiene is the cancellation-hygiene guard for
+// the whole pipeline: cancelling a Run whose simulations would otherwise
+// take tens of seconds must
+//
+//   - return promptly (the engine polls ctx once per CPU step, so the
+//     stop happens within one step; the generous bound below only
+//     protects CI from a hang if that wiring ever breaks),
+//   - report the context's error and no experiment,
+//   - leak no goroutines (the orchestrating and simulating goroutines
+//     unwind), and
+//   - return every pooled analyzer (the sessions' Close path), asserted
+//     through the pool's checked-out counter.
+func TestCancelMidSimulationHygiene(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	baseOut := analyzersOut.Load()
+
+	r := NewRunner(WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// A target this large runs for minutes if cancellation is broken.
+		exp, err := r.Run(ctx, Request{App: OLTP, Scale: Small, Seed: 1, TargetMisses: 2_000_000})
+		if exp != nil {
+			t.Error("cancelled Run returned a non-nil experiment")
+		}
+		done <- err
+	}()
+
+	// Let the simulations get into their engine loops, then cancel.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	t0 := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Run did not return: cancellation never reached the engine")
+	}
+	t.Logf("returned %v after cancel", time.Since(t0).Round(time.Millisecond))
+
+	if n := settleGoroutines(baseGoroutines, 5*time.Second); n > baseGoroutines {
+		t.Errorf("goroutines leaked by cancelled Run: %d before, %d after", baseGoroutines, n)
+	}
+	if out := analyzersOut.Load(); out != baseOut {
+		t.Errorf("pooled analyzers not returned after cancel: %d checked out (was %d)", out, baseOut)
+	}
+}
+
+// TestCancelledRunsReturnAnalyzersUnderChurn drives several cancelled
+// and completed collections back to back (the -race CI step runs this
+// too) and requires the analyzer pool's accounting to balance every
+// time: a cancelled sweep must be invisible to the next caller.
+func TestCancelledRunsReturnAnalyzersUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cancellation churn in short mode")
+	}
+	baseOut := analyzersOut.Load()
+	r := NewRunner()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := r.Run(ctx, Request{App: Apache, Scale: Small, Seed: int64(i), TargetMisses: 1_000_000})
+			done <- err
+		}()
+		time.Sleep(time.Duration(20+40*i) * time.Millisecond) // vary the cancel point
+		cancel()
+		if err := <-done; !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+		if out := analyzersOut.Load(); out != baseOut {
+			t.Fatalf("iteration %d: %d analyzers checked out after cancel (was %d)", i, out, baseOut)
+		}
+	}
+	// The pool still serves complete experiments afterwards.
+	exp, err := r.Run(context.Background(), Request{App: Apache, Scale: Small, Seed: 1, TargetMisses: 3000})
+	if err != nil || exp.Context(MultiChipCtx).Analysis == nil {
+		t.Fatalf("post-churn Run = (%v, %v), want a full experiment", exp, err)
+	}
+	if out := analyzersOut.Load(); out != baseOut {
+		t.Errorf("%d analyzers checked out after the completed run (was %d)", analyzersOut.Load(), baseOut)
+	}
+}
+
+// TestRunAllEarlyBreakTearsDown: breaking out of a RunAll range must
+// cancel the remaining requests and unwind their goroutines.
+func TestRunAllEarlyBreakTearsDown(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	baseOut := analyzersOut.Load()
+	// Wide pool: the quick request must not queue behind the stragglers,
+	// or the first yield would itself take minutes.
+	r := NewRunner(WithWorkers(8))
+	reqs := []Request{
+		{App: Apache, Scale: Small, Seed: 1, TargetMisses: 2000},
+		// The stragglers would run for minutes without the break's cancel.
+		{App: OLTP, Scale: Small, Seed: 1, TargetMisses: 2_000_000},
+		{App: Zeus, Scale: Small, Seed: 1, TargetMisses: 2_000_000},
+	}
+	for range r.RunAll(context.Background(), reqs...) {
+		break // first completion wins; the rest must tear down
+	}
+	if n := settleGoroutines(baseGoroutines, 30*time.Second); n > baseGoroutines {
+		t.Errorf("goroutines leaked after RunAll break: %d before, %d after", baseGoroutines, n)
+	}
+	if out := analyzersOut.Load(); out != baseOut {
+		t.Errorf("pooled analyzers not returned after RunAll break: %d checked out (was %d)", out, baseOut)
+	}
+}

@@ -14,17 +14,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -144,9 +148,17 @@ func main() {
 		if !*long {
 			args = append([]string{"test", "-short"}, args[1:]...)
 		}
-		cmd := exec.Command("go", args...)
+		// SIGINT/SIGTERM cancels the suite: the go test child is killed
+		// and no partial artifact is written.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		cmd := exec.CommandContext(ctx, "go", args...)
 		cmd.Stderr = os.Stderr
 		outBuf, err := cmd.Output()
+		if errors.Is(ctx.Err(), context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tsbench: interrupted, benchmark run cancelled")
+			os.Exit(130)
+		}
 		if err != nil {
 			fatalf("go test: %v", err)
 		}

@@ -13,18 +13,27 @@
 // Each job simulates one app on one machine model and streams its
 // off-chip misses into one session; with -intra, a single-chip job
 // streams the intra-chip misses into a second concurrent session fed by
-// the same simulation — the same fan-out CollectStreaming performs in
+// the same simulation — the same fan-out the library Runner performs in
 // process. -repeat multiplies the job list for sustained load. The final
 // line reports aggregate records/sec across all sessions, the number
 // tsserved's ingest trajectory tracks.
+//
+// SIGINT/SIGTERM cancels the fleet: queued jobs are dropped, every
+// in-flight simulation stops within one engine step, its half-fed
+// sessions are closed, and the command exits cleanly (status 130) with
+// the aggregate line for what did complete.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
@@ -105,6 +114,11 @@ func main() {
 		}
 	}
 
+	// One signal context governs the fleet: SIGINT/SIGTERM stops handing
+	// out jobs and cancels every in-flight simulation mid-step.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var (
 		mu           sync.Mutex
 		failed       int
@@ -118,7 +132,14 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				if err := runJob(*addr, j, scale, *seed, *target, *intra, req, &totalRecords); err != nil {
+				if ctx.Err() != nil {
+					continue // interrupted: drain the queue without dialing new sessions
+				}
+				err := runJob(ctx, *addr, j, scale, *seed, *target, *intra, req, &totalRecords)
+				if errors.Is(err, context.Canceled) {
+					continue // reported once below, not per job
+				}
+				if err != nil {
 					mu.Lock()
 					failed++
 					fmt.Fprintf(os.Stderr, "tsload: %v/%v: %v\n", j.app, j.machine, err)
@@ -127,8 +148,13 @@ func main() {
 			}
 		}()
 	}
+dispatch:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobCh)
 	wg.Wait()
@@ -137,6 +163,10 @@ func main() {
 	recs := totalRecords.Load()
 	fmt.Printf("tsload: %d jobs, %d sessions failed, %d records in %.2fs = %.0f records/sec aggregate\n",
 		len(jobs), failed, recs, elapsed.Seconds(), float64(recs)/elapsed.Seconds())
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "tsload: interrupted, remaining jobs cancelled")
+		os.Exit(130)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
@@ -144,8 +174,10 @@ func main() {
 
 // runJob simulates one app/machine pair, streaming into one session (plus
 // an intra-chip session for CMP jobs when requested), and prints each
-// session's result line.
-func runJob(addr string, j job, scale workload.Scale, seed int64, target int,
+// session's result line. A cancelled ctx stops the simulation mid-step;
+// the half-fed sessions are closed (their deferred Close) and ctx's
+// error is returned.
+func runJob(ctx context.Context, addr string, j job, scale workload.Scale, seed int64, target int,
 	intra bool, req server.Request, totalRecords *atomic.Int64) error {
 	label := fmt.Sprintf("%v/%v", j.app, j.machine)
 	offReq := req
@@ -169,10 +201,14 @@ func runJob(addr string, j job, scale workload.Scale, seed int64, target int,
 
 	cfg := workload.Config{App: j.app, Machine: j.machine, Scale: scale, Seed: seed, TargetMisses: target}
 	simStart := time.Now()
+	var runErr error
 	if intraSess != nil {
-		workload.RunStream(cfg, off, intraSess)
+		_, runErr = workload.RunStreamContext(ctx, cfg, off, intraSess)
 	} else {
-		workload.RunStream(cfg, off, nil)
+		_, runErr = workload.RunStreamContext(ctx, cfg, off, nil)
+	}
+	if runErr != nil {
+		return runErr
 	}
 	simSecs := time.Since(simStart).Seconds()
 

@@ -7,16 +7,24 @@
 //	tsreport [-scale small|medium|large] [-seed N] [-target N] [-j N]
 //	         [-only fig1,fig2,fig3,fig4,table3,table4,table5]
 //
-// Simulations and analyses for all applications run concurrently on a
-// bounded worker pool (-j, default GOMAXPROCS); output is deterministic
-// for a given seed regardless of -j.
+// Simulations and analyses for all applications run concurrently on the
+// report Runner's bounded worker pool (-j, default GOMAXPROCS); output
+// is deterministic for a given seed regardless of -j. A progress line
+// prints as each application's experiment completes (completion order),
+// and SIGINT/SIGTERM cancels the whole sweep: every in-flight
+// simulation stops within one engine step and the command exits cleanly
+// without printing partial artifacts.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	tempstream "repro"
@@ -47,7 +55,6 @@ func main() {
 	if err := cli.Positive("-target", *target); err != nil {
 		fatal(err)
 	}
-	tempstream.SetWorkers(*jobs)
 
 	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"table3": true, "table4": true, "table5": true, "hot": true}
@@ -63,15 +70,47 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
+	// One signal context governs the whole sweep: SIGINT/SIGTERM reaches
+	// every in-flight simulation through the Runner.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runner := tempstream.NewRunner(tempstream.WithWorkers(*jobs))
+
 	fmt.Printf("tsreport: scale=%s seed=%d target=%d misses per machine, %d workers\n",
-		scale, *seed, *target, tempstream.Workers())
+		scale, *seed, *target, runner.Workers())
 	start := time.Now()
-	exps := tempstream.CollectAll(scale, *seed, *target)
-	var apps []report.AppData
+
+	apps := tempstream.Apps()
+	reqs := make([]tempstream.Request, len(apps))
+	pos := make(map[tempstream.App]int, len(apps))
+	for i, app := range apps {
+		// The report reads the raw traces (MPKI class breakdowns), so the
+		// sweep keeps them.
+		reqs[i] = tempstream.Request{
+			App: app, Scale: scale, Seed: *seed, TargetMisses: *target, KeepTraces: true,
+		}
+		pos[app] = i
+	}
+	exps := make([]*tempstream.Experiment, len(apps))
+	for exp, err := range runner.RunAll(ctx, reqs...) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "tsreport: interrupted, cancelling sweep")
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		exps[pos[exp.App]] = exp
+		fmt.Printf("  simulated %-7s (footprint %3d MB multi / %3d MB single)\n",
+			exp.App, exp.MultiChip.Footprint>>20, exp.SingleChip.Footprint>>20)
+	}
+	fmt.Printf("all simulations done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	var apd []report.AppData
 	webApps, oltpApps, dssApps := []report.AppData{}, []report.AppData{}, []report.AppData{}
 	for _, exp := range exps {
 		ad := appData(exp)
-		apps = append(apps, ad)
+		apd = append(apd, ad)
 		switch exp.App.Class() {
 		case "Web":
 			webApps = append(webApps, ad)
@@ -80,28 +119,25 @@ func main() {
 		default:
 			dssApps = append(dssApps, ad)
 		}
-		fmt.Printf("  simulated %-7s (footprint %3d MB multi / %3d MB single)\n",
-			exp.App, exp.MultiChip.Footprint>>20, exp.SingleChip.Footprint>>20)
 	}
-	fmt.Printf("all simulations done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	out := os.Stdout
 	if sel("fig1") {
-		report.Figure1(out, apps)
+		report.Figure1(out, apd)
 		fmt.Fprintln(out)
 	}
 	if sel("fig2") {
-		report.Figure2(out, apps)
+		report.Figure2(out, apd)
 		fmt.Fprintln(out)
 	}
 	if sel("fig3") {
-		report.Figure3(out, apps)
+		report.Figure3(out, apd)
 		fmt.Fprintln(out)
 	}
 	if sel("fig4") {
-		report.Figure4Length(out, apps)
+		report.Figure4Length(out, apd)
 		fmt.Fprintln(out)
-		report.Figure4Reuse(out, apps)
+		report.Figure4Reuse(out, apd)
 		fmt.Fprintln(out)
 	}
 	if sel("table3") {
@@ -120,7 +156,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if sel("hot") {
-		report.HotStreams(out, apps, 0, 8)
+		report.HotStreams(out, apd, 0, 8)
 		fmt.Fprintln(out)
 	}
 }
@@ -129,7 +165,7 @@ func main() {
 func appData(exp *tempstream.Experiment) report.AppData {
 	ad := report.AppData{App: exp.App}
 	for _, ctx := range tempstream.Contexts() {
-		cr := exp.Contexts[ctx]
+		cr := exp.Context(ctx)
 		ad.Contexts = append(ad.Contexts, report.ContextData{
 			Name:     ctx.String(),
 			Trace:    cr.Trace,

@@ -86,14 +86,19 @@ func main() {
 	// the e2e smoke test.
 	os.Stdout.Sync()
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	// The signal context is the root of the daemon's shutdown: its
+	// cancellation starts the drain, which the server propagates through
+	// its own per-session context tree (queued waits abort, live
+	// connections close at the force deadline).
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve() }()
 
 	select {
-	case sig := <-sigs:
-		fmt.Printf("tsserved: %v: draining (timeout %v)\n", sig, *drainTimeout)
+	case <-sigCtx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Printf("tsserved: signal: draining (timeout %v)\n", *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		err := srv.Shutdown(ctx)

@@ -28,14 +28,24 @@
 // place of running a simulation, driving exactly the sinks a live run
 // would drive. Record→replay is byte-identical: replayed analyses
 // reproduce the in-process results field for field.
+//
+// Every simulating mode runs under one signal context: SIGINT/SIGTERM
+// stops the engine within one step (mid-warmup or mid-measurement) and
+// the command exits cleanly (status 130) instead of running the
+// remaining misses; a half-recorded archive is removed rather than left
+// trailerless.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cli"
 	"repro/internal/core"
@@ -44,6 +54,13 @@ import (
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
+
+// interrupted reports a cancelled run to stderr and exits with the
+// conventional SIGINT status.
+func interrupted() {
+	fmt.Fprintln(os.Stderr, "tstrace: interrupted, cancelling simulation")
+	os.Exit(130)
+}
 
 func main() {
 	appFlag := flag.String("app", "oltp", "workload: apache, zeus, oltp, qry1, qry2, qry17")
@@ -84,6 +101,11 @@ func main() {
 		fatal(fmt.Errorf("-record and -stream are mutually exclusive (replay the archive with -replay -stream)"))
 	}
 
+	// One signal context governs every simulating mode below:
+	// SIGINT/SIGTERM reaches the engine's per-step stop predicates.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *replay != "" {
 		if err := replayFile(*replay, *stream, *window, *n); err != nil {
 			fatal(err)
@@ -112,7 +134,12 @@ func main() {
 		if len(machines) != 1 {
 			fatal(fmt.Errorf("-record requires a single machine (-machine multi or single)"))
 		}
-		if err := recordFile(*record, app, machines[0], scale, *seed, *target, *intra); err != nil {
+		err := recordFile(ctx, *record, app, machines[0], scale, *seed, *target, *intra)
+		if errors.Is(err, context.Canceled) {
+			os.Remove(*record) // a half-written archive has no trailer; drop it
+			interrupted()
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -122,21 +149,32 @@ func main() {
 		if len(machines) != 1 {
 			fatal(fmt.Errorf("-stream requires a single machine (-machine multi or single)"))
 		}
-		streamRun(app, machines[0], scale, *seed, *target, *window, *intra)
+		if err := streamRun(ctx, app, machines[0], scale, *seed, *target, *window, *intra); err != nil {
+			interrupted()
+		}
 		return
 	}
 
 	// Simulate all requested machines concurrently, then dump in order.
 	results := make([]*workload.Result, len(machines))
+	errs := make([]error, len(machines))
 	var g par.Group
 	for i, machine := range machines {
-		g.Go(func() {
-			results[i] = workload.Run(workload.Config{
+		g.GoCtx(ctx, func() {
+			results[i], errs[i] = workload.RunContext(ctx, workload.Config{
 				App: app, Machine: machine, Scale: scale, Seed: *seed, TargetMisses: *target,
 			})
 		})
 	}
 	g.Wait()
+	if ctx.Err() != nil {
+		interrupted()
+	}
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -153,7 +191,7 @@ func main() {
 // recordFile streams one configuration's selected miss stream straight
 // into a wire archive: the encoder is the measurement sink, so the trace
 // is never materialized.
-func recordFile(path string, app workload.App, machine workload.MachineKind,
+func recordFile(ctx context.Context, path string, app workload.App, machine workload.MachineKind,
 	scale workload.Scale, seed int64, target int, intra bool) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -164,9 +202,13 @@ func recordFile(path string, app workload.App, machine workload.MachineKind,
 	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
 	var res *workload.Result
 	if intra {
-		res = workload.RunStream(cfg, nil, enc)
+		res, err = workload.RunStreamContext(ctx, cfg, nil, enc)
 	} else {
-		res = workload.RunStream(cfg, enc, nil)
+		res, err = workload.RunStreamContext(ctx, cfg, enc, nil)
+	}
+	if err != nil {
+		f.Close()
+		return err
 	}
 	enc.SetSymbols(wire.FuncsOf(res.SymTab))
 	if err := enc.Close(); err != nil {
@@ -274,19 +316,23 @@ func (s *windowSink) Finish(h trace.Header) {
 }
 
 // streamRun drives one configuration through the streaming data path.
-func streamRun(app workload.App, machine workload.MachineKind, scale workload.Scale,
-	seed int64, target, window int, intra bool) {
+// On cancellation the already-printed windows stand (they were live
+// output) and the error is returned.
+func streamRun(ctx context.Context, app workload.App, machine workload.MachineKind, scale workload.Scale,
+	seed int64, target, window int, intra bool) error {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintf(w, "# app=%v machine=%v scale=%v target=%d window=%d stream=%s\n",
 		app, machine, scale, target, window, map[bool]string{false: "off-chip", true: "intra-chip"}[intra])
 	sink := &windowSink{w: w, an: core.NewAnalyzer(), cpus: machine.CPUCount(), window: window}
 	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
+	var err error
 	if intra {
-		workload.RunStream(cfg, nil, sink)
+		_, err = workload.RunStreamContext(ctx, cfg, nil, sink)
 	} else {
-		workload.RunStream(cfg, sink, nil)
+		_, err = workload.RunStreamContext(ctx, cfg, sink, nil)
 	}
+	return err
 }
 
 func dump(w io.Writer, header string, st *trace.SymbolTable, tr *trace.Trace, n int) {

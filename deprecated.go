@@ -1,0 +1,87 @@
+package tempstream
+
+// This file is the only home of the pre-Runner API: thin shims over
+// Runner kept for source compatibility. CI greps the package (and the
+// cmd/ and examples/ trees) for these entrypoints outside this file, so
+// the old surface cannot silently re-grow. Everything here runs on the
+// process-wide default worker pool, which is what SetWorkers tunes.
+
+import (
+	"context"
+
+	"repro/internal/par"
+)
+
+// legacyRunner backs the deprecated entrypoints: a zero Runner schedules
+// on the process-wide default pool, so SetWorkers keeps governing the
+// deprecated API exactly as it always has.
+var legacyRunner = &Runner{}
+
+// SetWorkers bounds the number of simulations the deprecated
+// entrypoints run concurrently (process-wide). n < 1 restores the
+// default of GOMAXPROCS.
+//
+// Deprecated: use NewRunner(WithWorkers(n)) — each Runner owns its pool,
+// so two callers with different concurrency needs no longer fight over
+// one global knob.
+func SetWorkers(n int) { par.SetWorkers(n) }
+
+// Workers returns the process-wide default concurrency bound.
+//
+// Deprecated: use Runner.Workers.
+func Workers() int { return par.Workers() }
+
+// Collect runs app on both machine models at the given scale and
+// analyzes all three contexts, materializing the per-context traces.
+// target is the number of off-chip misses to collect per machine
+// (0 = default).
+//
+// Deprecated: use Runner.Run with Request.KeepTraces, which yields the
+// identical Experiment and is cancellable:
+//
+//	NewRunner().Run(ctx, Request{App: app, Scale: scale, Seed: seed,
+//		TargetMisses: target, KeepTraces: true})
+func Collect(app App, scale Scale, seed int64, target int) *Experiment {
+	exp, _ := legacyRunner.Run(context.Background(), Request{
+		App: app, Scale: scale, Seed: seed, TargetMisses: target, KeepTraces: true,
+	})
+	return exp
+}
+
+// CollectStreaming runs app on both machine models and analyzes all
+// three contexts without materializing any trace (unless opts asks to).
+//
+// Deprecated: use Runner.Run — streaming is Run's native execution mode:
+//
+//	NewRunner().Run(ctx, Request{App: app, Scale: scale, Seed: seed,
+//		TargetMisses: target, Analysis: opts.Analysis, Prefetch: opts.Prefetch,
+//		KeepTraces: opts.KeepTraces})
+func CollectStreaming(app App, scale Scale, seed int64, target int, opts StreamOptions) *Experiment {
+	exp, _ := legacyRunner.Run(context.Background(), Request{
+		App: app, Scale: scale, Seed: seed, TargetMisses: target,
+		Analysis: opts.Analysis, Prefetch: opts.Prefetch, KeepTraces: opts.KeepTraces,
+	})
+	return exp
+}
+
+// CollectAll runs every application and returns the experiments in
+// Apps() order, blocking until the slowest completes.
+//
+// Deprecated: use Runner.RunAll, which yields each experiment as it
+// completes instead of blocking on the full slice.
+func CollectAll(scale Scale, seed int64, target int) []*Experiment {
+	apps := Apps()
+	reqs := make([]Request, len(apps))
+	pos := make(map[App]int, len(apps))
+	for i, app := range apps {
+		reqs[i] = Request{App: app, Scale: scale, Seed: seed, TargetMisses: target, KeepTraces: true}
+		pos[app] = i
+	}
+	out := make([]*Experiment, len(apps))
+	for exp, err := range legacyRunner.RunAll(context.Background(), reqs...) {
+		if err == nil {
+			out[pos[exp.App]] = exp
+		}
+	}
+	return out
+}

@@ -7,16 +7,30 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"os/signal"
 
 	tempstream "repro"
 	"repro/internal/prefetch"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("Collecting OLTP multi-chip trace...")
-	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 30000)
-	cr := exp.Contexts[tempstream.MultiChipCtx]
+	// DepthSweep replays the trace at several depths, so this run keeps it.
+	exp, err := tempstream.NewRunner().Run(ctx, tempstream.Request{
+		App: tempstream.OLTP, Scale: tempstream.Small, Seed: 1, TargetMisses: 30000,
+		KeepTraces: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prefetcher: %v\n", err)
+		os.Exit(1)
+	}
+	cr := exp.Context(tempstream.MultiChipCtx)
 	ceiling := cr.Analysis.StreamFraction()
 	fmt.Printf("stream fraction (coverage ceiling): %.1f%%\n\n", 100*ceiling)
 

@@ -1,46 +1,67 @@
-// Quickstart: simulate one workload on both machine models and print the
-// paper's headline result - the fraction of off-chip misses that occur in
-// temporal streams - for all three analysis contexts, then repeat the
-// collection on the streaming data path (analysis consumes the miss
-// stream as the simulators produce it, with O(window) peak memory) and
-// show that the two agree exactly.
+// Quickstart: simulate one workload on both machine models with the
+// Runner API and print the paper's headline result - the fraction of
+// off-chip misses that occur in temporal streams - for all three
+// analysis contexts. The first run keeps traces (batch semantics); the
+// second streams with O(window) peak memory and no materialized traces;
+// the two agree exactly. Ctrl-C cancels a run mid-simulation: the Runner
+// returns context.Canceled within one engine step.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"os/signal"
 
 	tempstream "repro"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r := tempstream.NewRunner()
+
 	fmt.Println("Collecting OLTP traces (16-node multi-chip + 4-core single-chip)...")
-	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 20000)
+	exp, err := r.Run(ctx, tempstream.Request{
+		App: tempstream.OLTP, Scale: tempstream.Small, Seed: 1, TargetMisses: 20000,
+		KeepTraces: true, // batch semantics: materialize the per-context traces
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\n%-12s %14s %12s %12s %12s %10s\n",
 		"Context", "Misses", "Non-rep", "New", "Recurring", "In-streams")
-	for _, ctx := range tempstream.Contexts() {
-		cr := exp.Context(ctx)
+	for _, c := range tempstream.Contexts() {
+		cr := exp.Context(c)
 		nr, ns, rc := cr.Analysis.Fractions()
 		fmt.Printf("%-12s %14d %11.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
-			ctx, len(cr.Analysis.Misses), 100*nr, 100*ns, 100*rc, 100*(ns+rc))
+			c, len(cr.Analysis.Misses), 100*nr, 100*ns, 100*rc, 100*(ns+rc))
 	}
 
 	mc := exp.Context(tempstream.MultiChipCtx).Analysis
 	fmt.Printf("\nmulti-chip: %d distinct temporal streams, median length %.0f blocks\n",
 		mc.GrammarRules(), mc.MedianStreamLength())
 
-	// The same experiment without materializing a single trace: the
-	// simulators push each classified miss straight into incremental
-	// analyzer sinks.
+	// The same experiment without materializing a single trace: streaming
+	// is the Runner's native mode - the simulators push each classified
+	// miss straight into incremental analyzer sinks, so peak memory is
+	// bounded by the analysis window.
 	fmt.Println("\nStreaming the same experiment (no materialized traces)...")
-	sexp := tempstream.CollectStreaming(tempstream.OLTP, tempstream.Small, 1, 20000,
-		tempstream.StreamOptions{})
-	for _, ctx := range tempstream.Contexts() {
-		b := exp.Context(ctx).Analysis
-		s := sexp.Context(ctx).Analysis
-		fmt.Printf("%-12s batch=%6.1f%% streaming=%6.1f%% (header: %d misses, MPKI %.2f)\n",
-			ctx, 100*b.StreamFraction(), 100*s.StreamFraction(),
-			sexp.Context(ctx).Header.Misses, sexp.Context(ctx).Header.MPKI())
+	sexp, err := r.Run(ctx, tempstream.Request{
+		App: tempstream.OLTP, Scale: tempstream.Small, Seed: 1, TargetMisses: 20000,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+	for _, c := range tempstream.Contexts() {
+		b := exp.Context(c).Analysis
+		s := sexp.Context(c).Analysis
+		fmt.Printf("%-12s kept=%6.1f%% streaming=%6.1f%% (header: %d misses, MPKI %.2f)\n",
+			c, 100*b.StreamFraction(), 100*s.StreamFraction(),
+			sexp.Context(c).Header.Misses, sexp.Context(c).Header.MPKI())
 	}
 
 	fmt.Println("\nThe paper's Figure 2 shows the same shape: OLTP is highly repetitive")

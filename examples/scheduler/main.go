@@ -7,7 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -52,8 +55,15 @@ func main() {
 		eng.Start(k.CreateThread(eng, th, "bursty", i%ncpu))
 	}
 
+	// The signal context reaches the engine's per-step stop predicate
+	// directly: Ctrl-C stops the simulation within one step, the same
+	// mechanism the library Runner cancels whole sweeps with.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	off := m.OffChip()
-	eng.Run(func() bool { return off.Len() >= 30000 })
+	if err := eng.RunContext(ctx, func() bool { return off.Len() >= 30000 }); err != nil {
+		fmt.Fprintf(os.Stderr, "scheduler: %v (analyzing the partial trace)\n", err)
+	}
 
 	// Keep only the scheduler-attributed misses and analyze them.
 	sched := &trace.Trace{CPUs: ncpu}

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 
 	tempstream "repro"
 	"repro/internal/report"
@@ -15,21 +17,32 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Println("Simulating SPECweb99-like Apache with FastCGI perl pool...")
-	exp := tempstream.Collect(tempstream.Apache, tempstream.Small, 1, 20000)
+	// The category table reads the raw trace, so this run keeps it.
+	exp, err := tempstream.NewRunner().Run(ctx, tempstream.Request{
+		App: tempstream.Apache, Scale: tempstream.Small, Seed: 1, TargetMisses: 20000,
+		KeepTraces: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webstreams: %v\n", err)
+		os.Exit(1)
+	}
 
 	ad := report.AppData{App: exp.App}
-	for _, ctx := range tempstream.Contexts() {
-		cr := exp.Contexts[ctx]
+	for _, c := range tempstream.Contexts() {
+		cr := exp.Context(c)
 		ad.Contexts = append(ad.Contexts, report.ContextData{
-			Name: ctx.String(), Trace: cr.Trace, Analysis: cr.Analysis, SymTab: cr.SymTab,
+			Name: c.String(), Trace: cr.Trace, Analysis: cr.Analysis, SymTab: cr.SymTab,
 		})
 	}
 	cats := append(trace.CrossAppCategories(), trace.WebCategories()...)
 	report.CategoryTable(os.Stdout, "Temporal stream origins (web)", []report.AppData{ad}, cats)
 
 	// Per-function spotlight: Perl_sv_gets.
-	cr := exp.Contexts[tempstream.MultiChipCtx]
+	cr := exp.Context(tempstream.MultiChipCtx)
 	var total, inStream int
 	for i := range cr.Analysis.Misses {
 		if cr.SymTab.Func(cr.Analysis.Misses[i].Func).Name == "Perl_sv_gets" {

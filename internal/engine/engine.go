@@ -10,6 +10,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -214,6 +215,37 @@ func (e *Engine) Run(done func() bool) {
 			}
 		}
 	}
+}
+
+// RunContext executes like Run but additionally stops as soon as ctx is
+// cancelled, polling ctx at the same per-CPU-step cadence as done — so a
+// cancellation takes effect within one engine step, the same promptness
+// the miss-target stop predicates get. It returns ctx's cancellation
+// cause when cancellation stopped the run, nil otherwise.
+//
+// A context that can never be cancelled (ctx.Done() == nil, e.g.
+// context.Background()) adds no per-step work at all: the run takes
+// exactly Run's path.
+func (e *Engine) RunContext(ctx context.Context, done func() bool) error {
+	stop := ctx.Done()
+	if stop == nil {
+		e.Run(done)
+		return nil
+	}
+	cancelled := false
+	e.Run(func() bool {
+		select {
+		case <-stop:
+			cancelled = true
+			return true
+		default:
+		}
+		return done()
+	})
+	if cancelled {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // wakeDue wakes every sleeper whose time has come, on ctx's CPU (Solaris

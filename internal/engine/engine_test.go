@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/memmap"
@@ -104,6 +106,56 @@ func TestDoneStopsPromptly(t *testing.T) {
 	e.Run(func() bool { return m.OffChip().Len() >= target })
 	if m.OffChip().Len() > target+64 {
 		t.Errorf("overshoot: %d misses vs target %d", m.OffChip().Len(), target)
+	}
+}
+
+// TestRunContextCancelStops: a cancelled context stops the run within
+// one step per CPU and surfaces the cancellation cause; threads that
+// would run forever otherwise prove the stop came from the context.
+func TestRunContextCancelStops(t *testing.T) {
+	e, _, _ := testEngine(2)
+	threads := make([]*countingThread, 2)
+	for i := range threads {
+		threads[i] = &countingThread{steps: 1 << 30, addr: uint64(0x4000 * (i + 1))}
+		e.Start(e.Add(threads[i], "inf", i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.RunContext(ctx, func() bool { return false }); err != context.Canceled {
+		t.Fatalf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	for i, th := range threads {
+		if th.runs > 1 {
+			t.Errorf("thread %d ran %d steps after cancellation, want at most the in-flight one", i, th.runs)
+		}
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: an uncancellable context takes
+// Run's exact path — the run completes on the done predicate and
+// returns nil.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	e, _, _ := testEngine(1)
+	th := &countingThread{steps: 10, addr: 0x2000}
+	e.Start(e.Add(th, "t", 0))
+	if err := e.RunContext(context.Background(), func() bool { return false }); err != nil {
+		t.Fatalf("RunContext = %v, want nil", err)
+	}
+	if th.runs != 10 {
+		t.Errorf("thread ran %d steps, want 10", th.runs)
+	}
+}
+
+// TestRunContextCause surfaces a WithCancelCause cause instead of the
+// generic context.Canceled.
+func TestRunContextCause(t *testing.T) {
+	e, _, _ := testEngine(1)
+	e.Start(e.Add(&countingThread{steps: 1 << 30, addr: 0x8000}, "inf", 0))
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("drain")
+	cancel(cause)
+	if err := e.RunContext(ctx, func() bool { return false }); err != cause {
+		t.Fatalf("RunContext cause = %v, want %v", err, cause)
 	}
 }
 

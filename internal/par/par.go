@@ -1,63 +1,103 @@
-// Package par provides the process-wide bounded worker pool that the
-// experiment pipeline uses to run simulations and analyses concurrently.
+// Package par provides the bounded worker pools that the experiment
+// pipeline uses to run simulations and analyses concurrently.
 //
-// All heavy leaf tasks across the process share one semaphore, so nested
-// fan-out (CollectAll over apps, each Collect over machines and contexts)
-// cannot oversubscribe the CPUs: orchestrating goroutines are cheap and
-// unbounded, while at most Workers() leaf tasks execute simultaneously.
-// Tasks must be independent — a task must never block waiting for another
-// task's result while holding its worker slot.
+// A Pool is one bounded set of worker slots. All heavy leaf tasks
+// scheduled on a pool share its semaphore, so nested fan-out (a Runner's
+// RunAll over apps, each Run over machines) cannot oversubscribe the
+// CPUs: orchestrating goroutines are cheap and unbounded, while at most
+// Workers() leaf tasks execute simultaneously. Tasks must be independent
+// — a task must never block waiting for another task's result while
+// holding its worker slot.
+//
+// The package also retains one process-wide default pool behind the
+// deprecated SetWorkers/Workers pair; Groups with a nil Pool schedule on
+// it. New code should create per-instance pools with NewPool (the public
+// tempstream.Runner does) instead of mutating process-global state.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-var (
-	mu  sync.Mutex
-	sem = make(chan struct{}, runtime.GOMAXPROCS(0))
-)
+// Pool is a bounded set of worker slots. Create with NewPool; schedule
+// through a Group bound to it. A Pool has no Close: it holds no
+// resources beyond a channel and is garbage-collected with its last
+// Group.
+type Pool struct {
+	sem chan struct{}
+}
 
-// SetWorkers bounds the number of concurrently executing tasks. n < 1
-// restores the default of GOMAXPROCS. The bound is snapshotted per Go
-// call: tasks scheduled before SetWorkers finish under the previous
-// semaphore, so during the changeover the old and new bounds can briefly
-// overlap. Call it before scheduling work (as the CLIs do at startup).
-func SetWorkers(n int) {
+// NewPool returns a pool bounding concurrently executing tasks to n.
+// n < 1 selects the default of GOMAXPROCS.
+func NewPool(n int) *Pool {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+var (
+	mu  sync.Mutex
+	def = NewPool(0)
+)
+
+// SetWorkers bounds the process-wide default pool. n < 1 restores the
+// default of GOMAXPROCS. The bound is snapshotted per Go call: tasks
+// scheduled before SetWorkers finish under the previous pool, so during
+// the changeover the old and new bounds can briefly overlap.
+//
+// Deprecated: process-global worker state cannot serve two callers with
+// different needs. Create a per-instance pool with NewPool and bind
+// Groups to it (tempstream.NewRunner with WithWorkers does).
+func SetWorkers(n int) {
+	p := NewPool(n)
 	mu.Lock()
-	sem = make(chan struct{}, n)
+	def = p
 	mu.Unlock()
 }
 
-// Workers returns the current bound.
+// Workers returns the default pool's current bound.
+//
+// Deprecated: use Pool.Workers on a per-instance pool.
 func Workers() int {
-	mu.Lock()
-	defer mu.Unlock()
-	return cap(sem)
+	return current().Workers()
 }
 
-func current() chan struct{} {
+func current() *Pool {
 	mu.Lock()
 	defer mu.Unlock()
-	return sem
+	return def
 }
 
-// Group runs tasks on the shared pool and waits for them. The zero value is
-// ready to use. Group does not propagate panics across goroutines; tasks
-// are expected not to fail (they report through their own results).
+// Group runs tasks on a pool and waits for them. The zero value is ready
+// to use and schedules on the process-wide default pool; set Pool before
+// the first Go call to bind the group to a per-instance pool. Group does
+// not propagate panics across goroutines; tasks are expected not to fail
+// (they report through their own results).
 type Group struct {
-	wg sync.WaitGroup
+	// Pool is the pool the group's tasks hold slots of. nil selects the
+	// process-wide default pool (SetWorkers).
+	Pool *Pool
+	wg   sync.WaitGroup
+}
+
+func (g *Group) sem() chan struct{} {
+	if g.Pool != nil {
+		return g.Pool.sem
+	}
+	return current().sem
 }
 
 // Go schedules fn. The goroutine starts immediately but fn only runs once
 // a worker slot is free.
 func (g *Group) Go(fn func()) {
 	g.wg.Add(1)
-	s := current()
+	s := g.sem()
 	go func() {
 		defer g.wg.Done()
 		s <- struct{}{}
@@ -66,5 +106,27 @@ func (g *Group) Go(fn func()) {
 	}()
 }
 
-// Wait blocks until every task scheduled through Go has finished.
+// GoCtx schedules fn like Go, but the wait for a worker slot is bound to
+// ctx: if ctx is cancelled before a slot frees up, fn never runs and the
+// task completes immediately (Wait still accounts for it). Callers that
+// need to distinguish "ran" from "skipped" check ctx.Err after Wait —
+// a skip can only happen on a cancelled context.
+func (g *Group) GoCtx(ctx context.Context, fn func()) {
+	g.wg.Add(1)
+	s := g.sem()
+	done := ctx.Done()
+	go func() {
+		defer g.wg.Done()
+		select {
+		case s <- struct{}{}:
+		case <-done:
+			return
+		}
+		defer func() { <-s }()
+		fn()
+	}()
+}
+
+// Wait blocks until every task scheduled through Go or GoCtx has
+// finished (or was skipped by its cancelled context).
 func (g *Group) Wait() { g.wg.Wait() }

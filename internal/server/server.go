@@ -22,6 +22,19 @@ import (
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("server: closed")
 
+// Cancellation causes inside the server's context tree: every way a
+// session can be torn down early is a cause on its context, so the one
+// tree replaces the ad-hoc force channel, queue timer, and deadline
+// bookkeeping that used to express them separately.
+var (
+	// errDraining cancels the whole tree when a drain deadline expires.
+	errDraining = errors.New("server draining")
+	// errSlotWait expires one session's bounded wait for an analyzer slot.
+	errSlotWait = errors.New("server busy")
+	// errIdle cancels one session whose peer went silent between reads.
+	errIdle = errors.New("idle timeout: no data from peer")
+)
+
 // Session states, as reported by Stats.
 const (
 	StateQueued    = "queued"    // waiting for a session slot
@@ -89,33 +102,64 @@ func (c Config) withDefaults() Config {
 }
 
 // idleConn enforces Config.IdleTimeout: every Read re-arms the deadline,
-// so only a silent peer trips it, never a slow-but-flowing stream.
+// so only a silent peer trips it, never a slow-but-flowing stream. A
+// trip cancels the session's context with errIdle, folding the idle
+// deadline into the same cancellation tree as the drain and queue
+// bounds.
+//
+// idleConn is also where the server learns that a read failed because of
+// its OWN teardown (the deadline it armed, or the conn close the
+// context tree performed) rather than a peer fault: the raw net error
+// is visible here, before the wire decoder flattens it into a message
+// string. handle uses that to decide whether a session error may be
+// rewritten to the cancellation cause.
 type idleConn struct {
 	net.Conn
 	timeout time.Duration
+	cancel  context.CancelCauseFunc
+	// teardown is set when a Read failed due to the armed deadline or a
+	// closed conn. Written and read on the session's goroutine only.
+	teardown bool
 }
 
 func (c *idleConn) Read(p []byte) (int, error) {
 	if err := c.Conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
 		return 0, err
 	}
-	return c.Conn.Read(p)
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		var ne net.Error
+		switch {
+		case errors.As(err, &ne) && ne.Timeout():
+			c.teardown = true
+			c.cancel(errIdle)
+		case errors.Is(err, net.ErrClosed):
+			c.teardown = true
+		}
+	}
+	return n, err
 }
 
 // Server is the ingest daemon: it accepts connections, multiplexes
 // bounded concurrent sessions onto the pooled streaming-analysis
 // machinery, and serves live stats. Create with Listen, run with Serve,
 // stop with Shutdown (graceful drain) or Close.
+//
+// Every session lives under one context tree rooted at baseCtx: the
+// queue wait, the idle deadline, and the drain force-stop are all causes
+// of cancellation on that tree, so tearing the server down is one
+// CancelCause call fanning out to every connection.
 type Server struct {
 	cfg   Config
 	ln    net.Listener
 	slots chan struct{}
-	force chan struct{} // closed when a drain deadline expires
+
+	baseCtx   context.Context         // root of every session's context
+	cancelAll context.CancelCauseFunc // force-stop: cancels the whole tree
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
 	closed   bool
-	forced   bool
 
 	nextID        atomic.Uint64
 	totalSessions atomic.Int64
@@ -152,13 +196,15 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	cfg = cfg.withDefaults()
+	baseCtx, cancelAll := context.WithCancelCause(context.Background())
 	return &Server{
-		cfg:      cfg,
-		ln:       ln,
-		slots:    make(chan struct{}, cfg.MaxSessions),
-		force:    make(chan struct{}),
-		sessions: make(map[uint64]*session),
-		start:    time.Now(),
+		cfg:       cfg,
+		ln:        ln,
+		slots:     make(chan struct{}, cfg.MaxSessions),
+		baseCtx:   baseCtx,
+		cancelAll: cancelAll,
+		sessions:  make(map[uint64]*session),
+		start:     time.Now(),
 	}, nil
 }
 
@@ -208,15 +254,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.mu.Lock()
-		if !s.forced {
-			s.forced = true
-			close(s.force) // unblock queued sessions
-		}
-		for _, sess := range s.sessions {
-			sess.conn.Close()
-		}
-		s.mu.Unlock()
+		// One cancellation fans out through the session context tree:
+		// queued waits abort with the draining cause, and each live
+		// connection's AfterFunc closes its conn, unblocking any read.
+		s.cancelAll(errDraining)
 		<-done
 		return ctx.Err()
 	}
@@ -260,9 +301,29 @@ func (s *Server) register(sess *session) {
 	s.mu.Unlock()
 }
 
-// handle runs one connection's session end to end.
+// handle runs one connection's session end to end. The session's whole
+// lifetime hangs off one child of the server's context tree: cancelling
+// it — idle trip, drain force, or normal completion — closes the conn
+// via AfterFunc, so no teardown path needs its own timer or channel.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	stop := context.AfterFunc(ctx, func() {
+		// The idle cause is raised by a read that has already failed;
+		// nothing is blocked on the conn, so leave it open — the error
+		// response can still reach the (silent but connected) client.
+		// Every other cause (drain force, parent teardown) must close it
+		// to unblock a pending read.
+		if errors.Is(context.Cause(ctx), errIdle) {
+			return
+		}
+		conn.Close()
+	})
+	// LIFO: deregister the AfterFunc before the final cancel, so a normal
+	// completion does not race the response write with a context close.
+	defer cancel(nil)
+	defer stop()
+
 	sess := &session{
 		id:      s.nextID.Add(1),
 		remote:  conn.RemoteAddr().String(),
@@ -273,7 +334,18 @@ func (s *Server) handle(conn net.Conn) {
 	s.register(sess)
 	s.totalSessions.Add(1)
 
-	res, err := s.runSession(sess, conn)
+	ic := &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout, cancel: cancel}
+	res, err := s.runSession(ctx, sess, ic)
+	if err != nil && ic.teardown {
+		// A read error caused by our own teardown is better reported as
+		// the cancellation cause (idle timeout, draining) than as "use of
+		// closed network connection" — but only then: a genuine protocol
+		// or validation fault that merely races the drain keeps its real
+		// message.
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			err = cause
+		}
+	}
 
 	var resp Response
 	if err != nil {
@@ -300,9 +372,11 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // runSession negotiates, acquires a slot, and streams the connection's
-// records through a tempstream.Session.
-func (s *Server) runSession(sess *session, conn net.Conn) (*SessionResult, error) {
-	br := bufio.NewReaderSize(&idleConn{Conn: conn, timeout: s.cfg.IdleTimeout}, 64<<10)
+// records through a tempstream.Session. ctx is the session's node in the
+// server's context tree; ic is the connection wrapped with the idle
+// deadline (whose trip cancels ctx with the idle cause).
+func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn) (*SessionResult, error) {
+	br := bufio.NewReaderSize(ic, 64<<10)
 
 	// Negotiation: one JSON line.
 	line, err := readLine(br, requestLimit)
@@ -334,17 +408,20 @@ func (s *Server) runSession(sess *session, conn net.Conn) (*SessionResult, error
 
 	// Admission: one of MaxSessions analyzer bindings. While queued, the
 	// client's stream backs up in the socket — that is the protocol's
-	// backpressure, not an error. The wait is bounded (see
-	// Config.QueueTimeout) so producers multiplexing several sessions
-	// cannot deadlock the slot pool.
-	timeout := time.NewTimer(s.cfg.QueueTimeout)
-	defer timeout.Stop()
+	// backpressure, not an error. The wait is a child of the session's
+	// context, bounded by Config.QueueTimeout (so producers multiplexing
+	// several sessions cannot deadlock the slot pool) and torn down with
+	// the tree when the server force-drains.
+	slotCtx, cancelSlot := context.WithTimeoutCause(ctx, s.cfg.QueueTimeout, errSlotWait)
+	defer cancelSlot()
 	select {
 	case s.slots <- struct{}{}:
-	case <-s.force:
-		return nil, errors.New("server draining")
-	case <-timeout.C:
-		return nil, fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout)
+	case <-slotCtx.Done():
+		cause := context.Cause(slotCtx)
+		if errors.Is(cause, errSlotWait) {
+			return nil, fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout)
+		}
+		return nil, cause
 	}
 	defer func() { <-s.slots }()
 	sess.setState(StateReceiving)
@@ -368,7 +445,7 @@ func (s *Server) runSession(sess *session, conn net.Conn) (*SessionResult, error
 		Prefetch: req.Prefetch,
 	})
 	if _, err := dec.Run(&countingSink{inner: ts, n: &sess.records}); err != nil {
-		ts.Abandon()
+		ts.Close()
 		return nil, err
 	}
 	s.totalRecords.Add(sess.records.Load())

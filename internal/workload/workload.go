@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -119,6 +120,10 @@ func (s Scale) factor() int {
 	}
 }
 
+// DefaultTargetMisses is the off-chip miss target applied when
+// Config.TargetMisses is zero.
+const DefaultTargetMisses = 60000
+
 // Config selects one experiment run.
 type Config struct {
 	App          App
@@ -201,8 +206,19 @@ func (g *windowGate) Finish(trace.Header) {}
 
 // Run executes one configuration end to end and returns its traces. It is
 // the batch form of RunStream: the measurement sinks are materializing
-// traces, presized to the measurement window.
+// traces, presized to the measurement window. Run cannot be cancelled;
+// long sweeps should prefer RunContext.
 func Run(cfg Config) *Result {
+	res, _ := RunContext(context.Background(), cfg)
+	return res
+}
+
+// RunContext is Run bound to a context: cancellation reaches the
+// engine's per-step stop predicates, so a multi-minute simulation stops
+// within one engine step of ctx being cancelled. On cancellation it
+// returns (nil, ctx's cause); the partial traces are discarded. With a
+// never-cancelled context (e.g. context.Background()) it is exactly Run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	off := &trace.Trace{}
 	var intra *trace.Trace
 	var intraSink trace.Sink
@@ -210,10 +226,13 @@ func Run(cfg Config) *Result {
 		intra = &trace.Trace{}
 		intraSink = intra
 	}
-	res := runSinks(cfg, off, intraSink)
+	res, err := runSinks(ctx, cfg, off, intraSink)
+	if err != nil {
+		return nil, err
+	}
 	res.OffChip = off
 	res.IntraChip = intra
-	return res
+	return res, nil
 }
 
 // RunStream executes one configuration end to end, emitting the
@@ -229,13 +248,27 @@ func Run(cfg Config) *Result {
 // engine drives the same machine through the same warmup gate, so the
 // emitted records are byte-for-byte those of the batch path.
 func RunStream(cfg Config, off, intra trace.Sink) *Result {
-	return runSinks(cfg, off, intra)
+	res, _ := RunStreamContext(context.Background(), cfg, off, intra)
+	return res
 }
 
-// runSinks is the shared engine of Run and RunStream.
-func runSinks(cfg Config, offSink, intraSink trace.Sink) *Result {
+// RunStreamContext is RunStream bound to a context. On cancellation the
+// sinks receive no Finish — the stream simply stops mid-flight — and the
+// call returns (nil, ctx's cause); consumers discard their partial state
+// through their own abandon paths (e.g. tempstream.Session.Close). With
+// a never-cancelled context it is exactly RunStream.
+func RunStreamContext(ctx context.Context, cfg Config, off, intra trace.Sink) (*Result, error) {
+	return runSinks(ctx, cfg, off, intra)
+}
+
+// runSinks is the shared engine of Run and RunStream (and their ctx
+// forms).
+func runSinks(ctx context.Context, cfg Config, offSink, intraSink trace.Sink) (*Result, error) {
+	if err := context.Cause(ctx); err != nil {
+		return nil, err // cancelled before construction: skip the build
+	}
 	if cfg.TargetMisses == 0 {
-		cfg.TargetMisses = 60000
+		cfg.TargetMisses = DefaultTargetMisses
 	}
 	ncpu := cfg.Machine.CPUCount()
 	if cfg.WarmMisses == 0 {
@@ -323,7 +356,9 @@ func runSinks(cfg Config, offSink, intraSink trace.Sink) *Result {
 	// The stop predicates close over the gates hoisted above, so each
 	// per-step poll is one int compare with no interface call.
 	warmTarget := offGate.total + cfg.WarmMisses
-	eng.Run(func() bool { return offGate.total >= warmTarget })
+	if err := eng.RunContext(ctx, func() bool { return offGate.total >= warmTarget }); err != nil {
+		return nil, err
+	}
 	warmOff := offGate.total
 	warmInstr := mach.OffChip().Instructions
 	var warmIntra int
@@ -334,12 +369,18 @@ func runSinks(cfg Config, offSink, intraSink trace.Sink) *Result {
 	// Measurement: open the gates onto the caller's sinks.
 	offGate.sink = offSink
 	total := warmOff + cfg.TargetMisses
+	var err error
 	if intraGate != nil {
 		intraGate.sink = intraSink
 		intraCap := warmIntra + 40*cfg.TargetMisses
-		eng.Run(func() bool { return offGate.total >= total || intraGate.total >= intraCap })
+		err = eng.RunContext(ctx, func() bool { return offGate.total >= total || intraGate.total >= intraCap })
 	} else {
-		eng.Run(func() bool { return offGate.total >= total })
+		err = eng.RunContext(ctx, func() bool { return offGate.total >= total })
+	}
+	if err != nil {
+		// Cancelled mid-measurement: the sinks never see Finish, so a
+		// consumer can tell a dropped stream from a completed one.
+		return nil, err
 	}
 
 	instr := mach.OffChip().Instructions
@@ -357,5 +398,5 @@ func runSinks(cfg Config, offSink, intraSink trace.Sink) *Result {
 		Footprint: as.Footprint(),
 		AS:        as,
 		Kernel:    k,
-	}
+	}, nil
 }

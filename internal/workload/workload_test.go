@@ -1,7 +1,11 @@
 package workload
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -204,3 +208,71 @@ func TestAppMetadata(t *testing.T) {
 		t.Error("CPU counts must match the paper's system models")
 	}
 }
+
+// TestRunContextMatchesRun pins the ctx plumbing as pure plumbing: with
+// an uncancellable context the run is byte-for-byte Run (which the
+// golden digests pin against the seed simulator).
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := Config{App: Apache, Machine: SingleChip, Scale: Small, Seed: 4, TargetMisses: 3000}
+	want := Run(cfg)
+	got, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if !reflect.DeepEqual(got.OffChip, want.OffChip) || !reflect.DeepEqual(got.IntraChip, want.IntraChip) {
+		t.Errorf("RunContext traces differ from Run")
+	}
+}
+
+// TestRunContextPreCancelled: a dead context returns before the
+// (expensive) construction pass even starts.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := RunContext(ctx, Config{App: OLTP, Machine: MultiChip, Scale: Small, Seed: 1, TargetMisses: 1 << 20})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("pre-cancelled RunContext took %v: construction ran anyway", d)
+	}
+}
+
+// TestRunStreamContextCancelDeliversNoFinish: a stream cancelled
+// mid-measurement must never deliver Finish, so consumers can tell a
+// dropped stream from a completed one.
+func TestRunStreamContextCancelDeliversNoFinish(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &cancellingSink{cancel: cancel, after: 100}
+	res, err := RunStreamContext(ctx, Config{
+		App: Apache, Machine: MultiChip, Scale: Small, Seed: 1, TargetMisses: 1 << 20,
+	}, sink, nil)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunStreamContext = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if sink.finished {
+		t.Error("cancelled stream delivered Finish")
+	}
+	if sink.n < sink.after {
+		t.Errorf("sink saw %d records, expected at least %d before cancelling", sink.n, sink.after)
+	}
+}
+
+// cancellingSink cancels its context after receiving `after` records —
+// a consumer dying mid-stream.
+type cancellingSink struct {
+	cancel   func()
+	after    int
+	n        int
+	finished bool
+}
+
+func (c *cancellingSink) Append(trace.Miss) {
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+}
+
+func (c *cancellingSink) Finish(trace.Header) { c.finished = true }

@@ -5,59 +5,63 @@
 // SEQUITUR-based temporal-stream analyses behind every figure and table in
 // the paper's evaluation.
 //
-// Quick start:
+// Quick start — the Runner is the package's one entrypoint: a Request in,
+// an Experiment out, with the whole pipeline bound to a context:
 //
-//	exp := tempstream.Collect(tempstream.OLTP, tempstream.Small, 1, 30000)
-//	mc := exp.Context(tempstream.MultiChipCtx)
-//	fmt.Println(mc.Analysis.StreamFraction()) // fraction of misses in streams
-//
-// or, streaming — the analyses consume the miss stream as the simulators
-// produce it, so nothing is materialized and peak memory is bounded by the
-// analysis window instead of the trace:
-//
-//	exp := tempstream.CollectStreaming(tempstream.OLTP, tempstream.Small, 1, 30000,
-//		tempstream.StreamOptions{})
+//	r := tempstream.NewRunner()
+//	exp, err := r.Run(ctx, tempstream.Request{
+//		App: tempstream.OLTP, Scale: tempstream.Small, Seed: 1, TargetMisses: 30000,
+//	})
+//	if err != nil { ... } // ctx cancelled mid-simulation
 //	fmt.Println(exp.Context(tempstream.MultiChipCtx).Analysis.StreamFraction())
 //
-// The streaming consumer behind CollectStreaming is exported as Session
-// (a trace.Sink over a pooled incremental analyzer), so other producers —
-// the tsserved ingest daemon's network sessions (internal/server), wire-
-// format archive replays (internal/wire) — feed the identical machinery.
+// Streaming is the one execution engine: the analyses consume the miss
+// stream as the simulators produce it, so nothing is materialized and
+// peak memory is bounded by the analysis window instead of the trace.
+// Request.KeepTraces additionally materializes the per-context traces,
+// recovering the batch results of the deprecated Collect entrypoints
+// field for field.
+//
+// Sweeps fan out with RunAll, which yields experiments as they complete:
+//
+//	for exp, err := range r.RunAll(ctx, reqs...) { ... }
+//
+// The streaming consumer behind Run is exported as Session (a trace.Sink
+// over a pooled incremental analyzer), so other producers — the tsserved
+// ingest daemon's network sessions (internal/server), wire-format archive
+// replays (internal/wire) — feed the identical machinery.
 //
 // The analyses are hardware-independent (Section 3 of the paper): streams
 // are identified by SEQUITUR grammar inference over the miss-address
 // sequence, with no assumptions about any particular prefetcher.
 //
-// # Streaming
+// # Cancellation
 //
-// The data path is push-based end to end (see trace.Sink): the machine
-// simulators emit classified records into sinks, the workload runner gates
-// the warmup window sink-side, and the analyses and prefetcher evaluations
-// are incremental operators (core.Analyzer Begin/Feed/Finish,
-// prefetch.Evaluator.Step). Collect materializes each context's trace
-// through the same sinks and then analyzes it; CollectStreaming wires the
-// simulators directly to per-context analyzer (and optional prefetcher)
-// sinks, so analysis overlaps simulation and the two produce field-for-
-// field identical results.
+// Every Runner method takes a context, and the context reaches the
+// execution engine's per-step stop predicates (internal/engine), so
+// cancelling a sweep stops each in-flight simulation within one engine
+// step. Cancelled runs return the context's error, leak no goroutines,
+// and return every pooled analyzer. A context that can never be
+// cancelled (context.Background()) adds no per-step work.
 //
 // # Concurrency
 //
-// Collect runs the two machine simulations concurrently and fans the three
-// context analyses out over a process-wide bounded worker pool; CollectAll
-// additionally overlaps the applications. The pool width defaults to
-// GOMAXPROCS and is tuned with SetWorkers (the cmd/tsreport -j flag maps to
-// it). Results are byte-for-byte deterministic for a given seed regardless
-// of the worker count: every simulation seeds its own RNGs and every
-// analysis is a pure function of its miss stream. Analyses borrow
-// core.Analyzer instances from an internal pool, so grammar and scratch
-// storage is reused across contexts and applications.
+// Each Runner owns a bounded worker pool (WithWorkers; default
+// GOMAXPROCS): Run executes the two machine simulations concurrently on
+// it, and RunAll additionally overlaps requests, yielding each
+// experiment as it completes. Results are byte-for-byte deterministic
+// for a given seed regardless of the worker count: every simulation
+// seeds its own RNGs and every analysis is a pure function of its miss
+// stream. Analyses borrow core.Analyzer instances from an internal pool,
+// so grammar and scratch storage is reused across contexts, requests,
+// and Runners.
 package tempstream
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/par"
 	"repro/internal/prefetch"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -118,19 +122,19 @@ func (c Context) String() string {
 // Contexts returns all three contexts in the paper's presentation order.
 func Contexts() []Context { return []Context{MultiChipCtx, SingleChipCtx, IntraChipCtx} }
 
-// ContextResult is one context's stream analysis plus, in batch mode, its
-// classified trace.
+// ContextResult is one context's stream analysis plus, when the request
+// kept traces, its classified trace.
 type ContextResult struct {
-	// Trace is the materialized miss trace. It is nil for streaming
-	// collections (unless StreamOptions.KeepTraces was set): the records
-	// were consumed as they were produced.
+	// Trace is the materialized miss trace. It is nil unless the
+	// collection requested KeepTraces: the records were consumed as they
+	// were produced.
 	Trace *trace.Trace
 	// Header carries the context's window totals (misses emitted,
 	// instructions retired, CPUs) whether or not the trace was kept.
 	Header   trace.Header
 	Analysis *core.Analysis
 	// Prefetch holds the temporal-stream prefetcher evaluation when one
-	// was requested (StreamOptions.Prefetch); nil otherwise.
+	// was requested (Request.Prefetch); nil otherwise.
 	Prefetch *prefetch.Result
 	SymTab   *trace.SymbolTable
 }
@@ -147,321 +151,37 @@ type Experiment struct {
 	SingleChip *workload.Result
 }
 
-// Context returns the result for one analysis context.
-func (e *Experiment) Context(c Context) *ContextResult { return e.Contexts[c] }
-
-// SetWorkers bounds the number of simulations and analyses the package
-// runs concurrently (process-wide, shared with nested CollectAll fan-out).
-// n < 1 restores the default of GOMAXPROCS.
-func SetWorkers(n int) { par.SetWorkers(n) }
-
-// Workers returns the current concurrency bound.
-func Workers() int { return par.Workers() }
+// Context returns the result for one analysis context, or nil when c is
+// not one of the package's contexts — mirroring Context.String, which
+// renders the same out-of-range values as "invalid context".
+func (e *Experiment) Context(c Context) *ContextResult {
+	if c < 0 || c >= NumContexts {
+		return nil
+	}
+	return e.Contexts[c]
+}
 
 // analyzerPool recycles core.Analyzer instances (grammar slab, digram
-// index, stride tables, walker scratch) across contexts, applications, and
-// Collect calls.
-var analyzerPool = sync.Pool{New: func() any { return core.NewAnalyzer() }}
+// index, stride tables, walker scratch) across contexts, requests, and
+// Runner instances. analyzersOut counts instances currently checked out;
+// the cancellation-hygiene tests assert it returns to zero, so no code
+// path — including a cancelled sweep — can strand an analyzer.
+var (
+	analyzerPool = sync.Pool{New: func() any { return core.NewAnalyzer() }}
+	analyzersOut atomic.Int64
+)
 
-func analyze(tr *trace.Trace) *core.Analysis {
-	an := analyzerPool.Get().(*core.Analyzer)
-	a := an.Analyze(tr, core.Options{})
+func getAnalyzer() *core.Analyzer {
+	analyzersOut.Add(1)
+	return analyzerPool.Get().(*core.Analyzer)
+}
+
+func putAnalyzer(an *core.Analyzer) {
 	analyzerPool.Put(an)
-	return a
+	analyzersOut.Add(-1)
 }
 
 // headerOf derives a window header from a materialized trace.
 func headerOf(tr *trace.Trace) trace.Header {
 	return trace.Header{Misses: tr.Len(), Instructions: tr.Instructions, CPUs: tr.CPUs}
-}
-
-// Collect runs app on both machine models at the given scale and analyzes
-// all three contexts. target is the number of off-chip misses to collect
-// per machine (0 = default 60000); analysis truncation and warmup follow
-// the package defaults.
-//
-// The two simulations run concurrently, then the three context analyses
-// fan out over the package's worker pool (see SetWorkers). The result is
-// identical to a serial run with the same arguments.
-func Collect(app App, scale Scale, seed int64, target int) *Experiment {
-	var mc, sc *workload.Result
-	var sims par.Group
-	sims.Go(func() {
-		mc = workload.Run(workload.Config{
-			App: app, Machine: workload.MultiChip, Scale: scale,
-			Seed: seed, TargetMisses: target,
-		})
-	})
-	sims.Go(func() {
-		sc = workload.Run(workload.Config{
-			App: app, Machine: workload.SingleChip, Scale: scale,
-			Seed: seed, TargetMisses: target,
-		})
-	})
-	sims.Wait()
-
-	exp := &Experiment{
-		App: app, Scale: scale,
-		MultiChip:  mc,
-		SingleChip: sc,
-	}
-	results := make([]*ContextResult, NumContexts)
-	var analyses par.Group
-	for i, in := range []struct {
-		tr  *trace.Trace
-		res *workload.Result
-	}{
-		{mc.OffChip, mc},
-		{sc.OffChip, sc},
-		{sc.IntraChip, sc},
-	} {
-		analyses.Go(func() {
-			results[i] = &ContextResult{
-				Trace:    in.tr,
-				Header:   headerOf(in.tr),
-				Analysis: analyze(in.tr),
-				SymTab:   in.res.SymTab,
-			}
-		})
-	}
-	analyses.Wait()
-	for i, ctx := range Contexts() {
-		exp.Contexts[ctx] = results[i]
-	}
-	return exp
-}
-
-// collectSerial is the strictly sequential reference implementation of
-// Collect; the determinism tests compare the concurrent path against it
-// field for field.
-func collectSerial(app App, scale Scale, seed int64, target int) *Experiment {
-	mc := workload.Run(workload.Config{
-		App: app, Machine: workload.MultiChip, Scale: scale,
-		Seed: seed, TargetMisses: target,
-	})
-	sc := workload.Run(workload.Config{
-		App: app, Machine: workload.SingleChip, Scale: scale,
-		Seed: seed, TargetMisses: target,
-	})
-	exp := &Experiment{
-		App: app, Scale: scale,
-		MultiChip:  mc,
-		SingleChip: sc,
-	}
-	exp.Contexts[MultiChipCtx] = &ContextResult{
-		Trace:    mc.OffChip,
-		Header:   headerOf(mc.OffChip),
-		Analysis: core.Analyze(mc.OffChip, core.Options{}),
-		SymTab:   mc.SymTab,
-	}
-	exp.Contexts[SingleChipCtx] = &ContextResult{
-		Trace:    sc.OffChip,
-		Header:   headerOf(sc.OffChip),
-		Analysis: core.Analyze(sc.OffChip, core.Options{}),
-		SymTab:   sc.SymTab,
-	}
-	exp.Contexts[IntraChipCtx] = &ContextResult{
-		Trace:    sc.IntraChip,
-		Header:   headerOf(sc.IntraChip),
-		Analysis: core.Analyze(sc.IntraChip, core.Options{}),
-		SymTab:   sc.SymTab,
-	}
-	return exp
-}
-
-// StreamOptions tunes CollectStreaming.
-type StreamOptions struct {
-	// Analysis tunes the per-context stream analyses (window size, reuse
-	// truncation). The zero value matches Collect's defaults.
-	Analysis core.Options
-	// Prefetch, when non-nil, additionally evaluates a temporal-stream
-	// prefetcher over each context's miss stream as it is produced; the
-	// counters land in ContextResult.Prefetch.
-	Prefetch *prefetch.Config
-	// KeepTraces materializes the per-context traces as Collect does,
-	// costing O(trace) memory again. Off by default: streaming results
-	// carry only headers and analyses.
-	KeepTraces bool
-}
-
-// streamChunk bounds the Session's batching buffer (misses). Feeding the
-// analyzer in bursts rather than per record keeps the grammar's tables hot
-// across consecutive symbols instead of competing with the simulator's
-// memory traffic on every miss; 32k records is 512 KB — still O(1) per
-// context, far below any analysis window.
-const streamChunk = 32768
-
-// Session is the streaming consumer of one classified miss stream: a
-// trace.Sink that tees each record into a pooled incremental analyzer, an
-// optional prefetcher evaluation, and an optional materializing trace,
-// amortizing the per-record work over bounded chunks. It is the shared
-// entry point of every streaming consumer in the system: CollectStreaming
-// runs one Session per analysis context, and the tsserved ingest daemon
-// binds one to each network session (internal/server), so a stream fed
-// over the wire lands in exactly the machinery an in-process collection
-// uses.
-//
-// Peak memory is O(window): once the analyzer's window is full and no
-// other consumer is attached, further records are dropped in O(1) with no
-// allocation. A Session is driven from one goroutine (the Sink contract);
-// Result must be called exactly once, after Finish, to collect the
-// analyses and return the pooled analyzer — or Abandon to discard a
-// partially-fed session (e.g. a network stream that errored mid-flight).
-type Session struct {
-	chunk []trace.Miss
-	// inert is set once every consumer is saturated (analysis window full,
-	// no prefetcher, no kept trace): the remaining records need no work at
-	// all, exactly as the batch path's analysis truncation never reads
-	// them.
-	inert  bool
-	an     *core.Analyzer
-	ev     *prefetch.Evaluator
-	tr     *trace.Trace
-	header trace.Header
-}
-
-// NewSession prepares the consumers for one miss stream of a
-// cpus-processor machine; expect is the anticipated window length, used
-// purely to presize storage (0 is fine: storage grows on demand).
-func NewSession(cpus, expect int, opts StreamOptions) *Session {
-	s := &Session{
-		chunk: make([]trace.Miss, 0, streamChunk),
-		an:    analyzerPool.Get().(*core.Analyzer),
-	}
-	s.an.Begin(cpus, opts.Analysis)
-	s.an.Grow(expect)
-	if opts.Prefetch != nil {
-		s.ev = prefetch.NewEvaluator(*opts.Prefetch)
-	}
-	if opts.KeepTraces {
-		s.tr = &trace.Trace{}
-		s.tr.Grow(expect)
-	}
-	return s
-}
-
-// Append implements trace.Sink: one bounds-checked store per record, with
-// the consumers run chunk-at-a-time from flush.
-func (s *Session) Append(m trace.Miss) {
-	if s.inert {
-		return
-	}
-	s.chunk = append(s.chunk, m)
-	if len(s.chunk) == cap(s.chunk) {
-		s.flush()
-	}
-}
-
-// flush drains the chunk through the analyzer, prefetcher, and trace in
-// record order.
-func (s *Session) flush() {
-	s.an.FeedAll(s.chunk)
-	if s.ev != nil {
-		for i := range s.chunk {
-			s.ev.Step(s.chunk[i])
-		}
-	}
-	if s.tr != nil {
-		s.tr.Misses = append(s.tr.Misses, s.chunk...)
-	}
-	s.chunk = s.chunk[:0]
-	s.inert = s.an.Full() && s.ev == nil && s.tr == nil
-}
-
-// Finish implements trace.Sink.
-func (s *Session) Finish(h trace.Header) {
-	s.flush()
-	s.header = h
-	if s.tr != nil {
-		s.tr.Finish(h)
-	}
-}
-
-// Result completes the session's analyses — the derivation walk and
-// reuse-distance sweep run here — and returns the pooled analyzer. st may
-// be nil when no symbol table accompanies the stream (network sessions);
-// category attribution is then unavailable on the result.
-func (s *Session) Result(st *trace.SymbolTable) *ContextResult {
-	cr := &ContextResult{
-		Trace:    s.tr,
-		Header:   s.header,
-		Analysis: s.an.Finish(),
-		SymTab:   st,
-	}
-	analyzerPool.Put(s.an)
-	s.an = nil
-	if s.ev != nil {
-		r := s.ev.Result()
-		cr.Prefetch = &r
-	}
-	return cr
-}
-
-// Abandon discards a session without computing results, returning the
-// pooled analyzer; for streams that fail mid-flight. The Session must not
-// be used afterwards.
-func (s *Session) Abandon() {
-	if s.an != nil {
-		analyzerPool.Put(s.an)
-		s.an = nil
-	}
-}
-
-// CollectStreaming runs app on both machine models and analyzes all three
-// contexts without materializing any trace: the simulators push each
-// classified miss straight into the per-context analyzer (and optional
-// prefetcher) sinks, so analysis overlaps simulation and peak memory is
-// bounded by the analysis window (Options.MaxMisses) rather than the
-// trace length. Results are field-for-field identical to Collect with the
-// same arguments.
-func CollectStreaming(app App, scale Scale, seed int64, target int, opts StreamOptions) *Experiment {
-	expect := target
-	if expect == 0 {
-		expect = 60000 // the workload runner's default target
-	}
-	exp := &Experiment{App: app, Scale: scale}
-	var sims par.Group
-	sims.Go(func() {
-		s := NewSession(workload.MultiChip.CPUCount(), expect, opts)
-		res := workload.RunStream(workload.Config{
-			App: app, Machine: workload.MultiChip, Scale: scale,
-			Seed: seed, TargetMisses: target,
-		}, s, nil)
-		exp.MultiChip = res
-		exp.Contexts[MultiChipCtx] = s.Result(res.SymTab)
-	})
-	sims.Go(func() {
-		off := NewSession(workload.SingleChip.CPUCount(), expect, opts)
-		// The intra-chip stream runs up to 40x the off-chip target (the
-		// workload runner's measurement cap).
-		intra := NewSession(workload.SingleChip.CPUCount(), 40*expect, opts)
-		res := workload.RunStream(workload.Config{
-			App: app, Machine: workload.SingleChip, Scale: scale,
-			Seed: seed, TargetMisses: target,
-		}, off, intra)
-		exp.SingleChip = res
-		exp.Contexts[SingleChipCtx] = off.Result(res.SymTab)
-		exp.Contexts[IntraChipCtx] = intra.Result(res.SymTab)
-	})
-	sims.Wait()
-	return exp
-}
-
-// CollectAll runs every application, overlapping them on the worker pool,
-// and returns the experiments in Apps() order.
-func CollectAll(scale Scale, seed int64, target int) []*Experiment {
-	apps := Apps()
-	out := make([]*Experiment, len(apps))
-	var wg sync.WaitGroup
-	for i, app := range apps {
-		wg.Add(1)
-		// Collect orchestrates its own pool-bounded leaf tasks, so the
-		// per-app goroutine must not hold a worker slot itself.
-		go func() {
-			defer wg.Done()
-			out[i] = Collect(app, scale, seed, target)
-		}()
-	}
-	wg.Wait()
-	return out
 }

@@ -3,7 +3,48 @@ package tempstream
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
 )
+
+// collectSerial is the strictly sequential reference implementation of
+// the batch collection; the determinism tests compare the Runner's
+// concurrent path against it field for field.
+func collectSerial(app App, scale Scale, seed int64, target int) *Experiment {
+	mc := workload.Run(workload.Config{
+		App: app, Machine: workload.MultiChip, Scale: scale,
+		Seed: seed, TargetMisses: target,
+	})
+	sc := workload.Run(workload.Config{
+		App: app, Machine: workload.SingleChip, Scale: scale,
+		Seed: seed, TargetMisses: target,
+	})
+	exp := &Experiment{
+		App: app, Scale: scale,
+		MultiChip:  mc,
+		SingleChip: sc,
+	}
+	exp.Contexts[MultiChipCtx] = &ContextResult{
+		Trace:    mc.OffChip,
+		Header:   headerOf(mc.OffChip),
+		Analysis: core.Analyze(mc.OffChip, core.Options{}),
+		SymTab:   mc.SymTab,
+	}
+	exp.Contexts[SingleChipCtx] = &ContextResult{
+		Trace:    sc.OffChip,
+		Header:   headerOf(sc.OffChip),
+		Analysis: core.Analyze(sc.OffChip, core.Options{}),
+		SymTab:   sc.SymTab,
+	}
+	exp.Contexts[IntraChipCtx] = &ContextResult{
+		Trace:    sc.IntraChip,
+		Header:   headerOf(sc.IntraChip),
+		Analysis: core.Analyze(sc.IntraChip, core.Options{}),
+		SymTab:   sc.SymTab,
+	}
+	return exp
+}
 
 // compareExperiments asserts the two experiments are identical field for
 // field, with targeted messages before falling back to a deep comparison.
