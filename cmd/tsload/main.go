@@ -8,7 +8,7 @@
 //
 //	tsload -addr HOST:7465 [-clients 4] [-apps all|oltp,apache,...]
 //	       [-machine both] [-intra] [-scale small] [-seed 1] [-target 20000]
-//	       [-window N] [-prefetch] [-repeat 1]
+//	       [-window N] [-prefetch] [-repeat 1] [-resilient=true]
 //
 // Each job simulates one app on one machine model and streams its
 // off-chip misses into one session; with -intra, a single-chip job
@@ -17,6 +17,14 @@
 // process. -repeat multiplies the job list for sustained load. The final
 // line reports aggregate records/sec across all sessions, the number
 // tsserved's ingest trajectory tracks.
+//
+// Sessions are resilient by default (server.DialResilient): transport
+// resets, server sheds, and in-flight corruption are absorbed by
+// reconnecting and resuming from the server's parked state, and the
+// final summary includes per-error-class recovery counters (dials,
+// transport faults, busy/draining sheds, resumes, restarts). Pass
+// -resilient=false for the legacy single-shot client, where any
+// mid-stream failure fails the session.
 //
 // SIGINT/SIGTERM cancels the fleet: queued jobs are dropped, every
 // in-flight simulation stops within one engine step, its half-fed
@@ -40,12 +48,58 @@ import (
 	"repro/internal/core"
 	"repro/internal/prefetch"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 type job struct {
 	app     workload.App
 	machine workload.MachineKind
+}
+
+// ingestSession is what a job needs from either client flavor: the Sink
+// to stream into, and the result/records accessors for reporting.
+type ingestSession interface {
+	trace.Sink
+	Records() int64
+	Result() (*server.SessionResult, error)
+	Close() error
+}
+
+// fleet carries the per-run dialing configuration and the aggregated
+// recovery counters shared by every worker.
+type fleet struct {
+	addr      string
+	req       server.Request
+	resilient bool
+	seed      int64
+
+	sessionSeq atomic.Int64 // distinct jitter seed per session
+
+	mu      sync.Mutex
+	retries server.RetryStats
+}
+
+// dial opens one session of the configured flavor.
+func (f *fleet) dial(label string, cpus int) (ingestSession, error) {
+	req := f.req
+	req.Label = label
+	if !f.resilient {
+		return server.DialSession(f.addr, cpus, req)
+	}
+	return server.DialResilient(f.addr, cpus, req, server.RetryPolicy{
+		Seed: f.seed + f.sessionSeq.Add(1),
+	})
+}
+
+// collect folds a finished (or failed) session's recovery counters into
+// the fleet totals.
+func (f *fleet) collect(s ingestSession) {
+	if rs, ok := s.(*server.ResilientSession); ok {
+		f.mu.Lock()
+		f.retries.Add(rs.Stats())
+		f.mu.Unlock()
+	}
 }
 
 func main() {
@@ -60,6 +114,7 @@ func main() {
 	window := flag.Int("window", 0, "requested per-session analysis window in misses (0 = server default)")
 	pf := flag.Bool("prefetch", false, "request a temporal-stream prefetcher evaluation per session")
 	repeat := flag.Int("repeat", 1, "repetitions of the app x machine job list")
+	resilient := flag.Bool("resilient", true, "retrying/resumable sessions (false = legacy single-shot client)")
 	flag.Parse()
 
 	fatal := func(err error) {
@@ -104,6 +159,7 @@ func main() {
 	if *pf {
 		req.Prefetch = &prefetch.Config{Depth: 8, HistoryLen: 20000, BufferBlocks: 2048}
 	}
+	fl := &fleet{addr: *addr, req: req, resilient: *resilient, seed: *seed}
 
 	var jobs []job
 	for r := 0; r < *repeat; r++ {
@@ -135,7 +191,7 @@ func main() {
 				if ctx.Err() != nil {
 					continue // interrupted: drain the queue without dialing new sessions
 				}
-				err := runJob(ctx, *addr, j, scale, *seed, *target, *intra, req, &totalRecords)
+				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords)
 				if errors.Is(err, context.Canceled) {
 					continue // reported once below, not per job
 				}
@@ -163,6 +219,11 @@ dispatch:
 	recs := totalRecords.Load()
 	fmt.Printf("tsload: %d jobs, %d sessions failed, %d records in %.2fs = %.0f records/sec aggregate\n",
 		len(jobs), failed, recs, elapsed.Seconds(), float64(recs)/elapsed.Seconds())
+	if *resilient {
+		r := fl.retries
+		fmt.Printf("tsload: recovery: dials=%d transport=%d busy=%d draining=%d stream=%d resumes=%d restarts=%d resume_lost=%d\n",
+			r.Dials, r.Transport, r.Busy, r.Draining, r.StreamErrors, r.Resumes, r.Restarts, r.ResumeLost)
+	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "tsload: interrupted, remaining jobs cancelled")
 		os.Exit(130)
@@ -177,42 +238,38 @@ dispatch:
 // session's result line. A cancelled ctx stops the simulation mid-step;
 // the half-fed sessions are closed (their deferred Close) and ctx's
 // error is returned.
-func runJob(ctx context.Context, addr string, j job, scale workload.Scale, seed int64, target int,
-	intra bool, req server.Request, totalRecords *atomic.Int64) error {
+func runJob(ctx context.Context, fl *fleet, j job, scale workload.Scale, seed int64, target int,
+	intra bool, totalRecords *atomic.Int64) error {
 	label := fmt.Sprintf("%v/%v", j.app, j.machine)
-	offReq := req
-	offReq.Label = label
-	off, err := server.DialSession(addr, j.machine.CPUCount(), offReq)
+	off, err := fl.dial(label, j.machine.CPUCount())
 	if err != nil {
 		return err
 	}
+	defer fl.collect(off)
 	defer off.Close()
 
-	var intraSess *server.ClientSession
+	var intraSess ingestSession
 	if intra && j.machine == workload.SingleChip {
-		intraReq := req
-		intraReq.Label = label + "/intra"
-		intraSess, err = server.DialSession(addr, j.machine.CPUCount(), intraReq)
+		intraSess, err = fl.dial(label+"/intra", j.machine.CPUCount())
 		if err != nil {
 			return err
 		}
+		defer fl.collect(intraSess)
 		defer intraSess.Close()
 	}
 
 	cfg := workload.Config{App: j.app, Machine: j.machine, Scale: scale, Seed: seed, TargetMisses: target}
 	simStart := time.Now()
-	var runErr error
+	var intraSink trace.Sink
 	if intraSess != nil {
-		_, runErr = workload.RunStreamContext(ctx, cfg, off, intraSess)
-	} else {
-		_, runErr = workload.RunStreamContext(ctx, cfg, off, nil)
+		intraSink = intraSess
 	}
-	if runErr != nil {
+	if _, runErr := workload.RunStreamContext(ctx, cfg, off, intraSink); runErr != nil {
 		return runErr
 	}
 	simSecs := time.Since(simStart).Seconds()
 
-	report := func(label string, cs *server.ClientSession) error {
+	report := func(label string, cs ingestSession) error {
 		res, err := cs.Result()
 		if err != nil {
 			return err

@@ -9,12 +9,25 @@
 // Usage:
 //
 //	tsserved [-addr :7465] [-stats :7466] [-max-sessions 16] [-max-window N]
+//	         [-max-queue N] [-resume-grace 30s] [-chaos SPEC]
 //
 // The -stats listener serves a JSON snapshot on /stats: aggregate ingest
 // counters plus one row per session (records, records/sec, and — once the
 // session completes — its stream fraction and MPKI). SIGINT/SIGTERM
 // drain gracefully: the listener closes, in-flight and queued sessions
 // run to completion (up to -drain-timeout), then the process exits 0.
+//
+// Overload is shed explicitly: beyond -max-queue waiting sessions, new
+// arrivals are refused immediately with a machine-readable busy code and
+// a retry hint instead of queueing. Clients speaking the resumable
+// protocol (server.DialResilient, tsload's default) may reconnect after
+// a mid-stream failure and continue the same analysis; the interrupted
+// session's state is parked for -resume-grace.
+//
+// -chaos injects deterministic transport faults (resets, corruption,
+// partial writes, stalls; see internal/faultnet) into every accepted
+// connection — the harness the end-to-end chaos suite drives to prove
+// the resilient client converges. Never enable it in production.
 //
 // Drive it with cmd/tsload (a simulated fleet of clients) or any producer
 // that speaks the wire format — e.g. `tstrace -record` archives replayed
@@ -25,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/faultnet"
 	"repro/internal/server"
 )
 
@@ -40,9 +55,12 @@ func main() {
 	statsAddr := flag.String("stats", "", "stats HTTP listen address (empty = disabled)")
 	maxSessions := flag.Int("max-sessions", 16, "concurrent analysis sessions; further sessions queue")
 	maxWindow := flag.Int("max-window", 0, "per-session analysis window ceiling in misses (0 = analysis default)")
+	maxQueue := flag.Int("max-queue", 0, "waiting sessions before new arrivals are shed with busy (0 = 4*max-sessions, negative = no explicit shed)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "how long a session may wait for a slot before failing busy (0 = 30s)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between a connection's reads before it is dropped (0 = 2m)")
+	resumeGrace := flag.Duration("resume-grace", 0, "how long an interrupted resumable session's state is parked for resumption (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	chaos := flag.String("chaos", "", "deterministic fault-injection spec for accepted connections, e.g. seed=7,reset=262144,partial=1 (testing only)")
 	flag.Parse()
 
 	fatal := func(err error) {
@@ -58,17 +76,27 @@ func main() {
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
 	}
-
-	srv, err := server.Listen(*addr, server.Config{
-		MaxSessions:  *maxSessions,
-		MaxWindow:    *maxWindow,
-		QueueTimeout: *queueTimeout,
-		IdleTimeout:  *idleTimeout,
-	})
+	spec, err := faultnet.ParseSpec(*chaos)
 	if err != nil {
 		fatal(err)
 	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.NewServer(faultnet.Wrap(ln, spec), server.Config{
+		MaxSessions:  *maxSessions,
+		MaxWindow:    *maxWindow,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		IdleTimeout:  *idleTimeout,
+		ResumeGrace:  *resumeGrace,
+	})
 	fmt.Printf("tsserved: listening on %s (max-sessions=%d)\n", srv.Addr(), *maxSessions)
+	if spec.Enabled() {
+		fmt.Printf("tsserved: CHAOS fault injection on every connection: %s\n", spec)
+	}
 
 	var statsSrv *http.Server
 	if *statsAddr != "" {
@@ -106,8 +134,8 @@ func main() {
 			statsSrv.Close()
 		}
 		st := srv.Stats()
-		fmt.Printf("tsserved: drained: %d sessions (%d failed), %d records ingested\n",
-			st.TotalSessions, st.FailedSessions, st.TotalRecords)
+		fmt.Printf("tsserved: drained: %d sessions (%d failed, %d shed, %d resumed), %d records ingested\n",
+			st.TotalSessions, st.FailedSessions, st.ShedSessions, st.ResumedSessions, st.TotalRecords)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsserved: drain incomplete: %v\n", err)
 			os.Exit(1)

@@ -32,8 +32,10 @@
 // Every simulating mode runs under one signal context: SIGINT/SIGTERM
 // stops the engine within one step (mid-warmup or mid-measurement) and
 // the command exits cleanly (status 130) instead of running the
-// remaining misses; a half-recorded archive is removed rather than left
-// trailerless.
+// remaining misses. -record writes to FILE.tmp and renames into place
+// only after the trailer lands, so FILE is always a complete archive:
+// an interrupt or crash mid-record cleans up the temp file and leaves
+// any previous FILE untouched.
 package main
 
 import (
@@ -136,7 +138,6 @@ func main() {
 		}
 		err := recordFile(ctx, *record, app, machines[0], scale, *seed, *target, *intra)
 		if errors.Is(err, context.Canceled) {
-			os.Remove(*record) // a half-written archive has no trailer; drop it
 			interrupted()
 		}
 		if err != nil {
@@ -190,13 +191,23 @@ func main() {
 
 // recordFile streams one configuration's selected miss stream straight
 // into a wire archive: the encoder is the measurement sink, so the trace
-// is never materialized.
+// is never materialized. The archive is written to path.tmp and renamed
+// into place only after the trailer has landed and synced, so path never
+// holds a truncated, trailerless stream — a crash, cancellation, or
+// full disk leaves the previous archive (if any) untouched.
 func recordFile(ctx context.Context, path string, app workload.App, machine workload.MachineKind,
-	scale workload.Scale, seed int64, target int, intra bool) error {
-	f, err := os.Create(path)
+	scale workload.Scale, seed int64, target int, intra bool) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	bw := bufio.NewWriterSize(f, 1<<20)
 	enc := wire.NewEncoder(bw, machine.CPUCount())
 	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
@@ -207,19 +218,22 @@ func recordFile(ctx context.Context, path string, app workload.App, machine work
 		res, err = workload.RunStreamContext(ctx, cfg, enc, nil)
 	}
 	if err != nil {
-		f.Close()
 		return err
 	}
 	enc.SetSymbols(wire.FuncsOf(res.SymTab))
-	if err := enc.Close(); err != nil {
-		f.Close()
+	if err = enc.Close(); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
+	if err = bw.Flush(); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
 		return err
 	}
 	fi, err := os.Stat(path)

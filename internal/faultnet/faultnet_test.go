@@ -1,0 +1,248 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// chatter pushes n bytes through a wrapped client->server pipe and
+// returns what the server side received and the first error either side
+// hit. The client side is the fault-injected one.
+func chatter(t *testing.T, spec Spec, idx int64, n int) (received []byte, writeErr error) {
+	t.Helper()
+	client, srv := net.Pipe()
+	defer srv.Close()
+	fc := WrapConn(client, spec, idx)
+	defer fc.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(srv)
+		done <- b
+	}()
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for sent := 0; sent < n && writeErr == nil; sent += len(payload) {
+		_, writeErr = fc.Write(payload)
+	}
+	fc.Close()
+	return <-done, writeErr
+}
+
+// TestCleanSpecPassesThrough: a zero spec wraps to the identity (Wrap
+// returns the listener unchanged, a wrapped conn alters no bytes).
+func TestCleanSpecPassesThrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := Wrap(ln, Spec{}); got != ln {
+		t.Errorf("Wrap with empty spec returned %T, want the original listener", got)
+	}
+
+	got, err := chatter(t, Spec{Seed: 1}, 0, 64<<10)
+	if err != nil {
+		t.Fatalf("clean conn write failed: %v", err)
+	}
+	if len(got) != 64<<10 {
+		t.Fatalf("clean conn delivered %d bytes, want %d", len(got), 64<<10)
+	}
+}
+
+// TestResetAtByteOffset: a reset spec cuts the stream short with
+// ErrInjectedReset, at a deterministic offset for a given (seed, idx).
+func TestResetAtByteOffset(t *testing.T) {
+	spec := Spec{Seed: 42, ResetEvery: 8 << 10}
+	got1, err1 := chatter(t, spec, 3, 1<<20)
+	got2, err2 := chatter(t, spec, 3, 1<<20)
+	if !errors.Is(err1, ErrInjectedReset) || !errors.Is(err2, ErrInjectedReset) {
+		t.Fatalf("errors = %v, %v, want ErrInjectedReset", err1, err2)
+	}
+	if len(got1) == 0 || len(got1) >= 1<<20 {
+		t.Errorf("reset delivered %d bytes, want a strict prefix", len(got1))
+	}
+	if len(got1) != len(got2) || !bytes.Equal(got1, got2) {
+		t.Errorf("same (seed, idx) produced different cut offsets: %d vs %d", len(got1), len(got2))
+	}
+	// A different connection index must draw a different schedule.
+	got3, _ := chatter(t, spec, 4, 1<<20)
+	if len(got3) == len(got1) {
+		t.Logf("note: idx 3 and 4 cut at the same offset (%d); legal but unlikely", len(got1))
+	}
+	// Post-reset operations fail immediately.
+	client, srv := net.Pipe()
+	defer srv.Close()
+	fc := WrapConn(client, Spec{Seed: 1, ResetEvery: 1}, 0)
+	go io.Copy(io.Discard, srv)
+	fc.Write(make([]byte, 16))
+	fc.Write(make([]byte, 16))
+	if _, err := fc.Write(make([]byte, 16)); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("write after reset: %v, want ErrInjectedReset", err)
+	}
+	if _, err := fc.Read(make([]byte, 16)); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("read after reset: %v, want ErrInjectedReset", err)
+	}
+}
+
+// TestCorruptionIsOnACopy: injected bit flips must reach the peer but
+// never the caller's buffer (the resilient client replays those bytes).
+func TestCorruptionIsOnACopy(t *testing.T) {
+	client, srv := net.Pipe()
+	defer srv.Close()
+	fc := WrapConn(client, Spec{Seed: 7, CorruptEvery: 64}, 0)
+	defer fc.Close()
+
+	payload := make([]byte, 4096) // zeros
+	want := make([]byte, len(payload))
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(srv)
+		done <- b
+	}()
+	if _, err := fc.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	fc.Close()
+	got := <-done
+	if !bytes.Equal(payload, want) {
+		t.Errorf("caller's buffer was mutated by corruption injection")
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("received %d bytes, want %d", len(got), len(payload))
+	}
+	flips := 0
+	for _, b := range got {
+		if b != 0 {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Errorf("no corruption delivered over 4096 bytes at corrupt=64")
+	}
+}
+
+// TestPartialWritesReassemble: split writes still deliver every byte in
+// order.
+func TestPartialWritesReassemble(t *testing.T) {
+	got, err := chatter(t, Spec{Seed: 5, PartialWrites: true}, 0, 32<<10)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if len(got) != 32<<10 {
+		t.Fatalf("received %d bytes, want %d", len(got), 32<<10)
+	}
+	for i, b := range got {
+		if b != byte(i%1024) {
+			t.Fatalf("byte %d = %#x, want %#x: reordering or loss", i, b, byte(i%1024))
+		}
+	}
+}
+
+// TestReadStall: a stall spec delays reads long enough to trip a peer's
+// read deadline.
+func TestReadStall(t *testing.T) {
+	client, srv := net.Pipe()
+	defer client.Close()
+	defer srv.Close()
+	fc := WrapConn(client, Spec{Seed: 9, StallEvery: 1, StallFor: 50 * time.Millisecond}, 0)
+	go func() {
+		srv.Write([]byte("x"))
+		srv.Write([]byte("y"))
+	}()
+	// With StallEvery=1 the first stall lands on read 1 or 2; two reads
+	// must therefore include at least one injected stall.
+	start := time.Now()
+	buf := make([]byte, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Read(buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("two stall-eligible reads returned in %v, want >= ~50ms", d)
+	}
+}
+
+// TestSpecRoundTrip: ParseSpec(String()) is the identity, and bad specs
+// are rejected.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := Spec{Seed: 11, ResetEvery: 1 << 18, CorruptEvery: 1 << 20,
+		PartialWrites: true, MaxLatency: 200 * time.Microsecond,
+		StallEvery: 500, StallFor: 300 * time.Millisecond}
+	got, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec.String(), err)
+	}
+	if got != spec {
+		t.Errorf("round trip: got %+v, want %+v", got, spec)
+	}
+	for _, bad := range []string{"nope", "frobnicate=1", "reset=abc", "latency=xyz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if s, err := ParseSpec(""); err != nil || s.Enabled() {
+		t.Errorf("empty spec: %+v, %v; want disabled, nil", s, err)
+	}
+}
+
+// TestListenerWraps: an enabled spec's listener injects per-connection
+// faults on accepted conns.
+func TestListenerWraps(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(inner, Spec{Seed: 3, ResetEvery: 4 << 10})
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srvConn := <-accepted
+	defer srvConn.Close()
+	if _, ok := srvConn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultnet.Conn", srvConn)
+	}
+	// Drive bytes from the client until the server side's injected reset
+	// surfaces as a failed read.
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			if _, err := client.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	total := 0
+	buf := make([]byte, 1024)
+	for {
+		n, err := srvConn.Read(buf)
+		total += n
+		if err != nil {
+			if !errors.Is(err, ErrInjectedReset) {
+				t.Fatalf("server read error %v, want ErrInjectedReset", err)
+			}
+			break
+		}
+		if total > 1<<20 {
+			t.Fatalf("no reset injected within 1 MB at reset=4096")
+		}
+	}
+}

@@ -12,14 +12,61 @@ import (
 	"repro/internal/wire"
 )
 
+// Client-side per-operation bounds. These are liveness bounds on a
+// single read or write — not a retry policy (ResilientSession layers
+// that separately): without them a dead or wedged peer leaves the
+// producer blocked in a socket call forever.
+const (
+	defaultDialTimeout = 10 * time.Second
+	// defaultWriteTimeout bounds one stream write. It must comfortably
+	// exceed the server's queue wait (admission backpressure is an unread
+	// socket, so writes stall legitimately while queued).
+	defaultWriteTimeout = 2 * time.Minute
+	// defaultReadTimeout bounds the response read, which spans the
+	// server's final analysis of the stream.
+	defaultReadTimeout = 5 * time.Minute
+)
+
+// deadlineConn arms a fresh deadline before every Read and Write, so
+// each individual operation — request line, stream frame, response read —
+// is bounded without any call site managing deadlines itself.
+type deadlineConn struct {
+	net.Conn
+	read, write time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.read > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.read)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.write > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.write)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
+
 // ClientSession is the client half of one ingest session: a trace.Sink
 // that streams every record over the wire protocol, so a producer
 // (workload.RunStream, a decoder replaying an archive, any Sink driver)
 // plugs into a remote tsserved exactly as it would into a local analyzer.
 // Drive it with Append/Finish, then call Result to collect the server's
 // analysis.
+//
+// Every socket operation carries a per-operation deadline (see
+// SetTimeouts), so a peer that dies without closing the connection
+// surfaces as a timeout error instead of hanging the producer. The
+// session does not retry — for fault tolerance use ResilientSession.
 type ClientSession struct {
 	conn net.Conn
+	dc   *deadlineConn
 	enc  *wire.Encoder
 	br   *bufio.Reader
 
@@ -32,29 +79,42 @@ type ClientSession struct {
 // negotiates one session for a cpus-processor miss stream. The request's
 // analysis options and prefetch config select what the server computes.
 func DialSession(addr string, cpus int, req Request) (*ClientSession, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	conn, err := net.DialTimeout("tcp", addr, defaultDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	dc := &deadlineConn{Conn: conn, read: defaultReadTimeout, write: defaultWriteTimeout}
 	line, err := json.Marshal(req)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	if _, err := conn.Write(append(line, '\n')); err != nil {
+	if _, err := dc.Write(append(line, '\n')); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: sending request: %w", err)
 	}
 	c := &ClientSession{
 		conn: conn,
-		enc:  wire.NewEncoder(conn, cpus),
-		br:   bufio.NewReader(conn),
+		dc:   dc,
+		enc:  wire.NewEncoder(dc, cpus),
+		br:   bufio.NewReader(dc),
 	}
 	if err := c.enc.Err(); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return c, nil
+}
+
+// SetTimeouts overrides the per-operation socket bounds (0 keeps the
+// current value; negative disables that bound). Call before streaming.
+func (c *ClientSession) SetTimeouts(read, write time.Duration) {
+	if read != 0 {
+		c.dc.read = max(read, 0)
+	}
+	if write != 0 {
+		c.dc.write = max(write, 0)
+	}
 }
 
 // Append implements trace.Sink.

@@ -3,6 +3,7 @@ package server_test
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,21 +13,14 @@ import (
 	"time"
 )
 
-// TestEndToEndBinaries is the full-system smoke: build the real tsserved
-// and tsload binaries (race-instrumented when this test binary is), start
-// the daemon on a loopback port, drive it with 4 concurrent clients, and
-// assert a clean drain on SIGTERM. This is the CI race step's end-to-end
-// coverage of the wire protocol, the session multiplexing, and the
-// shutdown path as shipped, not as linked into a test binary.
-func TestEndToEndBinaries(t *testing.T) {
-	if testing.Short() {
-		t.Skip("skipping binary end-to-end smoke in short mode")
-	}
+// buildBinaries compiles tsserved and tsload (race-instrumented when this
+// test binary is) into a temp dir and returns it.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
 	goTool, err := exec.LookPath("go")
 	if err != nil {
 		t.Skip("go tool not in PATH")
 	}
-
 	dir := t.TempDir()
 	buildArgs := []string{"build"}
 	if raceEnabled {
@@ -40,24 +34,36 @@ func TestEndToEndBinaries(t *testing.T) {
 			t.Fatalf("building %s: %v\n%s", cmd, err, out)
 		}
 	}
+	return dir
+}
 
-	// Start the daemon on an ephemeral port and parse the bound address
-	// from its readiness line.
-	served := exec.Command(filepath.Join(dir, "tsserved"),
-		"-addr", "127.0.0.1:0", "-max-sessions", "4")
-	stdout, err := served.StdoutPipe()
+// daemon is one running tsserved under test: the process, the loopback
+// address parsed from its readiness line, and the channel its remaining
+// stdout lines arrive on.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	lineCh chan string
+}
+
+// startDaemon launches tsserved on an ephemeral port with the given extra
+// flags and waits for its readiness line. The process is killed on test
+// cleanup if the test did not already shut it down.
+func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(filepath.Join(dir, "tsserved"), args...)
+	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatalf("stdout pipe: %v", err)
 	}
-	served.Stderr = os.Stderr
-	if err := served.Start(); err != nil {
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting tsserved: %v", err)
 	}
-	defer served.Process.Kill()
+	t.Cleanup(func() { cmd.Process.Kill() })
 
 	sc := bufio.NewScanner(stdout)
-	var addr string
-	deadline := time.After(30 * time.Second)
 	lineCh := make(chan string, 16)
 	go func() {
 		for sc.Scan() {
@@ -65,24 +71,52 @@ func TestEndToEndBinaries(t *testing.T) {
 		}
 		close(lineCh)
 	}()
-	for addr == "" {
+	d := &daemon{cmd: cmd, lineCh: lineCh}
+	deadline := time.After(30 * time.Second)
+	for d.addr == "" {
 		select {
 		case line, ok := <-lineCh:
 			if !ok {
 				t.Fatalf("tsserved exited before announcing its address")
 			}
 			if rest, found := strings.CutPrefix(line, "tsserved: listening on "); found {
-				addr = strings.Fields(rest)[0]
+				d.addr = strings.Fields(rest)[0]
 			}
 		case <-deadline:
 			t.Fatalf("timed out waiting for tsserved readiness line")
 		}
 	}
+	return d
+}
 
-	// 4 clients, 4 jobs (2 apps x 2 machines), intra-chip sessions too.
-	load := exec.Command(filepath.Join(dir, "tsload"),
-		"-addr", addr, "-clients", "4", "-apps", "apache,oltp",
-		"-machine", "both", "-intra", "-target", "4000")
+// shutdown SIGTERMs the daemon and asserts a clean drain: the drain
+// summary line appears and the process exits zero.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling tsserved: %v", err)
+	}
+	var drained bool
+	for line := range d.lineCh {
+		if strings.Contains(line, "drained:") {
+			drained = true
+		}
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("tsserved did not exit cleanly: %v", err)
+	}
+	if !drained {
+		t.Errorf("tsserved never printed its drain summary")
+	}
+}
+
+// runLoad runs tsload against addr with the given extra flags and asserts
+// the zero-failure summary, returning the full output for further
+// assertions.
+func runLoad(t *testing.T, dir, addr string, extra ...string) []byte {
+	t.Helper()
+	args := append([]string{"-addr", addr}, extra...)
+	load := exec.Command(filepath.Join(dir, "tsload"), args...)
 	load.Dir = repoRoot(t)
 	out, err := load.CombinedOutput()
 	if err != nil {
@@ -91,23 +125,72 @@ func TestEndToEndBinaries(t *testing.T) {
 	if !bytes.Contains(out, []byte("0 sessions failed")) || !bytes.Contains(out, []byte("records/sec aggregate")) {
 		t.Fatalf("tsload output missing success summary:\n%s", out)
 	}
+	return out
+}
 
-	// Clean drain: SIGTERM, expect the drain summary and exit code 0.
-	if err := served.Process.Signal(syscall.SIGTERM); err != nil {
-		t.Fatalf("signaling tsserved: %v", err)
+// TestEndToEndBinaries is the full-system smoke: build the real tsserved
+// and tsload binaries (race-instrumented when this test binary is), start
+// the daemon on a loopback port, drive it with 4 concurrent clients, and
+// assert a clean drain on SIGTERM. This is the CI race step's end-to-end
+// coverage of the wire protocol, the session multiplexing, and the
+// shutdown path as shipped, not as linked into a test binary.
+func TestEndToEndBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary end-to-end smoke in short mode")
 	}
-	var drained bool
-	for line := range lineCh {
-		if strings.Contains(line, "drained:") {
-			drained = true
+	dir := buildBinaries(t)
+	d := startDaemon(t, dir, "-max-sessions", "4")
+	// 4 clients, 4 jobs (2 apps x 2 machines), intra-chip sessions too.
+	runLoad(t, dir, d.addr, "-clients", "4", "-apps", "apache,oltp",
+		"-machine", "both", "-intra", "-target", "4000")
+	d.shutdown(t)
+}
+
+// TestEndToEndChaos is the fault-tolerance counterpart: the daemon runs
+// with -chaos, injecting seeded connection resets and fragmented writes
+// into every accepted connection, sized so nearly every session is cut
+// mid-stream at least once. The resilient clients (tsload's default) must
+// absorb all of it — zero failed sessions, with the recovery summary
+// showing transport faults were actually taken and survived — and the
+// daemon must still drain cleanly afterward.
+func TestEndToEndChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary chaos end-to-end in short mode")
+	}
+	dir := buildBinaries(t)
+	// ~6000 records/session is ~24 KB of wire; resets at a mean of 12 KB
+	// (offsets in [1, 24 KB)) interrupt almost every session mid-stream.
+	d := startDaemon(t, dir, "-max-sessions", "4",
+		"-chaos", "seed=11,reset=12000,partial=1", "-resume-grace", "10s")
+	out := runLoad(t, dir, d.addr, "-clients", "4", "-apps", "apache,oltp",
+		"-machine", "both", "-target", "6000", "-seed", "3")
+
+	// The recovery summary must show the chaos actually bit: transport
+	// faults recorded, and at least one session resumed or restarted.
+	var dials, transport, resumes, restarts, resumeLost int64
+	for _, line := range strings.Split(string(out), "\n") {
+		if !strings.HasPrefix(line, "tsload: recovery:") {
+			continue
+		}
+		if _, err := fmt.Sscanf(strings.TrimPrefix(line, "tsload: recovery:"),
+			" dials=%d transport=%d busy=%d draining=%d stream=%d resumes=%d restarts=%d resume_lost=%d",
+			&dials, &transport, new(int64), new(int64), new(int64), &resumes, &restarts, &resumeLost); err != nil {
+			t.Fatalf("parsing recovery line %q: %v", line, err)
 		}
 	}
-	if err := served.Wait(); err != nil {
-		t.Fatalf("tsserved did not exit cleanly: %v", err)
+	if dials == 0 {
+		t.Fatalf("no recovery summary in tsload output:\n%s", out)
 	}
-	if !drained {
-		t.Errorf("tsserved never printed its drain summary")
+	if transport == 0 {
+		t.Errorf("chaos run recorded no transport faults (reset injection never bit): %s", out)
 	}
+	if resumes+restarts == 0 {
+		t.Errorf("chaos run never resumed or restarted a session: %s", out)
+	}
+	if resumeLost != 0 {
+		t.Errorf("chaos run lost %d sessions' resume state within the grace window", resumeLost)
+	}
+	d.shutdown(t)
 }
 
 // repoRoot locates the module root (two levels above this package).

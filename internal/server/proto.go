@@ -20,6 +20,54 @@ import (
 	"repro/internal/trace"
 )
 
+// ErrCode is a machine-readable classification of a session failure,
+// carried in Response.Code (and in the hello line of a resumable
+// session). Clients branch on the code — retry, back off, resume, or
+// give up — instead of string-matching error text.
+type ErrCode string
+
+const (
+	// CodeBusy: the server shed the session (queue full or slot wait
+	// expired). Retry after the response's retry hint.
+	CodeBusy ErrCode = "busy"
+	// CodeDraining: the server is shutting down; retry elsewhere/later.
+	CodeDraining ErrCode = "draining"
+	// CodeTooLarge: the request line exceeded the protocol bound.
+	CodeTooLarge ErrCode = "too_large"
+	// CodeBadRequest: the request or stream negotiation is invalid
+	// (malformed JSON, negative window, unbounded prefetch, CPU-count
+	// mismatch). Retrying the same request will fail the same way.
+	CodeBadRequest ErrCode = "bad_request"
+	// CodeResumeUnknown: the resume token is unknown or its grace window
+	// expired; mid-stream resumption is impossible.
+	CodeResumeUnknown ErrCode = "resume_unknown"
+	// CodeStream: the session's stream failed in flight (transport reset,
+	// frame corruption, idle timeout). For resumable sessions the
+	// analyzer state was parked, so a resume continues the same analysis.
+	CodeStream ErrCode = "stream"
+)
+
+// Retryable reports whether a failure with this code is worth retrying:
+// the condition is transient (load, drain, transport), not a property of
+// the request itself.
+func (c ErrCode) Retryable() bool {
+	switch c {
+	case CodeBusy, CodeDraining, CodeStream:
+		return true
+	}
+	return false
+}
+
+// ResumeRequest opts a session into the resumable protocol. A non-nil
+// Resume in the request makes the server issue a session token and
+// per-frame acknowledgements; a non-empty Token asks it to continue a
+// previously interrupted session from its parked analyzer state.
+type ResumeRequest struct {
+	// Token is the server-issued session token from a previous hello;
+	// empty for a new session.
+	Token string `json:"token,omitempty"`
+}
+
 // Request is the session negotiation, sent by the client as one JSON line
 // before its wire stream. The zero value is a valid request (default
 // analysis window, no prefetcher).
@@ -36,6 +84,10 @@ type Request struct {
 	// idealized unbounded engine, whose structures grow with the stream —
 	// the server rejects that; see MaxPrefetchHistory/MaxPrefetchBuffer).
 	Prefetch *prefetch.Config `json:"prefetch,omitempty"`
+	// Resume, when non-nil, selects the resumable protocol (hello line,
+	// frame acks, parked-state resumption). Plain sessions leave it nil
+	// and speak the original request/stream/response exchange.
+	Resume *ResumeRequest `json:"resume,omitempty"`
 }
 
 // Response is the server's one-line JSON answer, sent after the client's
@@ -43,6 +95,45 @@ type Request struct {
 type Response struct {
 	Result *SessionResult `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
+	// Code classifies Error for machine consumption; empty on success.
+	Code ErrCode `json:"code,omitempty"`
+	// RetryAfterMS hints how long a shed client should back off before
+	// retrying (busy/draining failures).
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+}
+
+// Hello is the server's first line on a resumable session, sent once the
+// session is admitted: the token to resume with, and the number of data
+// frames the server has already consumed (0 for a new session; the
+// client's replay position after a resume). Done reports that the parked
+// session had in fact completed — the final Response line follows
+// immediately and the client must not send any stream bytes.
+type Hello struct {
+	Token     string `json:"token"`
+	NextFrame int64  `json:"next_frame"`
+	Done      bool   `json:"done,omitempty"`
+}
+
+// Ack is one acknowledgement line, interleaved by the server between the
+// client's frames on a resumable session: Ack data frames (cumulative)
+// have been fully decoded into the analyzer, so the client may drop them
+// from its replay ring.
+type Ack struct {
+	Ack int64 `json:"ack"`
+}
+
+// controlLine is the union shape of everything a server writes on the
+// control channel (hello, acks, the final response), so a client can
+// parse any line and classify it afterwards.
+type controlLine struct {
+	Ack          *int64         `json:"ack,omitempty"`
+	Token        string         `json:"token,omitempty"`
+	NextFrame    int64          `json:"next_frame,omitempty"`
+	Done         bool           `json:"done,omitempty"`
+	Result       *SessionResult `json:"result,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	Code         ErrCode        `json:"code,omitempty"`
+	RetryAfterMS int            `json:"retry_after_ms,omitempty"`
 }
 
 // SessionResult is the serializable image of a tempstream.ContextResult:

@@ -3,6 +3,8 @@ package server
 import (
 	"bufio"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,11 +43,17 @@ const (
 	StateReceiving = "receiving" // decoding the client's stream
 	StateDone      = "done"
 	StateFailed    = "failed"
+	// StateParked: the connection died mid-stream but the session's
+	// analyzer state is parked under its resume token, awaiting the
+	// client's resumption within the grace window.
+	StateParked = "parked"
 )
 
 // requestLimit bounds the negotiation line; a request is a small JSON
 // object, so anything larger is a confused or hostile client.
 const requestLimit = 64 << 10
+
+var errRequestTooLarge = fmt.Errorf("request exceeds %d bytes", requestLimit)
 
 // finishedTTL is how long a completed session stays visible in Stats
 // before being pruned from the table.
@@ -70,6 +78,14 @@ type Config struct {
 	// 0 means the analysis default (core.DefaultMaxMisses); the clamp is
 	// always enforced.
 	MaxWindow int
+	// MaxQueue bounds how many sessions may simultaneously wait for a
+	// slot; arrivals beyond it are shed immediately with a busy error
+	// and a retry_after_ms hint instead of queueing. Explicit shedding
+	// keeps overload latency bounded — without it every excess client
+	// waits the full QueueTimeout just to learn the server is saturated.
+	// 0 means 4*MaxSessions; negative disables the explicit shed
+	// (queue waits remain bounded by QueueTimeout).
+	MaxQueue int
 	// QueueTimeout bounds how long a session may wait for an analyzer
 	// slot before failing with a busy error. The bound matters for
 	// deadlock avoidance, not just fairness: a producer multiplexing
@@ -83,6 +99,15 @@ type Config struct {
 	// without FIN) errors out instead of pinning a goroutine — and, once
 	// admitted, an analyzer slot — forever. 0 means 2m.
 	IdleTimeout time.Duration
+	// ResumeGrace is how long an interrupted resumable session's
+	// analyzer state stays parked under its token awaiting resumption.
+	// Parked state holds an analyzer's memory (but no session slot), so
+	// the window is deliberately bounded; on expiry the state is
+	// discarded and a late resume fails with resume_unknown. 0 means 30s.
+	ResumeGrace time.Duration
+	// RetryHint is the backoff hint (retry_after_ms) attached to busy
+	// and draining responses. 0 means 500ms.
+	RetryHint time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,11 +117,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxWindow == 0 {
 		c.MaxWindow = core.DefaultMaxMisses
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxSessions
+	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = 30 * time.Second
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.ResumeGrace == 0 {
+		c.ResumeGrace = 30 * time.Second
+	}
+	if c.RetryHint == 0 {
+		c.RetryHint = 500 * time.Millisecond
 	}
 	return c
 }
@@ -140,6 +174,24 @@ func (c *idleConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// ctlWriter serializes the server's control-channel lines (hello, acks,
+// the final response) with a write deadline per line, so a dead or
+// wedged peer can never pin a session goroutine in a write.
+type ctlWriter struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+func (w *ctlWriter) writeLine(v any) error {
+	w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	defer w.conn.SetWriteDeadline(time.Time{})
+	if err := json.NewEncoder(w.bw).Encode(v); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
 // Server is the ingest daemon: it accepts connections, multiplexes
 // bounded concurrent sessions onto the pooled streaming-analysis
 // machinery, and serves live stats. Create with Listen, run with Serve,
@@ -159,15 +211,29 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*session
+	parked   map[string]*parkedSession
 	closed   bool
 
 	nextID        atomic.Uint64
 	totalSessions atomic.Int64
 	totalFailed   atomic.Int64
 	totalRecords  atomic.Int64
+	queued        atomic.Int64
+	totalShed     atomic.Int64
+	totalParked   atomic.Int64
+	totalResumed  atomic.Int64
+	totalExpired  atomic.Int64
 
-	activeConns sync.WaitGroup
-	start       time.Time
+	// Live connection-handler count and the drain notification, both
+	// guarded by mu. A plain counter rather than a sync.WaitGroup: the
+	// accept loop's increment must be ordered against Shutdown's wait
+	// under the same lock that publishes closed, which a WaitGroup's
+	// Add/Wait pair cannot express (a 0→1 Add concurrent with Wait is a
+	// race by contract).
+	conns   int
+	drainCh chan struct{}
+
+	start time.Time
 }
 
 // session is the server-side state of one connection's stream.
@@ -188,6 +254,54 @@ type session struct {
 
 func (s *session) setState(st string) { s.state.Store(&st) }
 
+// parkedSession is an interrupted resumable session's continuation: the
+// live tempstream.Session plus the decoder progress (per-CPU delta
+// chains, frame and record counts) needed to splice the client's
+// re-sent stream onto the same incremental analysis. A session that
+// completed parks its final result instead (done non-nil, ts nil), so a
+// client whose response line was lost can resume and still collect it.
+type parkedSession struct {
+	token   string
+	label   string
+	cpus    int
+	ts      *tempstream.Session
+	chain   []uint64
+	frames  int64
+	records int64
+	done    *SessionResult
+
+	// gen guards the grace timer: park re-arms bump it (under Server.mu),
+	// so a stale timer that lost the Stop race cannot expire a re-parked
+	// entry.
+	gen   int
+	timer *time.Timer
+}
+
+// sessionFailure is runSession's error form: the machine-readable code
+// and retry hint that land in the response, and whether the session's
+// state was parked for resumption (in which case it is not counted as
+// failed).
+type sessionFailure struct {
+	code       ErrCode
+	err        error
+	retryAfter time.Duration
+	parked     bool
+}
+
+func failf(code ErrCode, format string, args ...any) *sessionFailure {
+	return &sessionFailure{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// newToken mints a resume token: 128 random bits, unguessable so one
+// client cannot resume (and so steal or corrupt) another's session.
+func newToken() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("server: reading random token: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Listen binds the ingest listener on addr (e.g. ":7465" or
 // "127.0.0.1:0") but does not accept yet; call Serve.
 func Listen(addr string, cfg Config) (*Server, error) {
@@ -195,6 +309,12 @@ func Listen(addr string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
+	return NewServer(ln, cfg), nil
+}
+
+// NewServer wraps an existing listener (possibly fault-injected; see
+// internal/faultnet) as an ingest server. Most callers use Listen.
+func NewServer(ln net.Listener, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	baseCtx, cancelAll := context.WithCancelCause(context.Background())
 	return &Server{
@@ -204,8 +324,9 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		baseCtx:   baseCtx,
 		cancelAll: cancelAll,
 		sessions:  make(map[uint64]*session),
+		parked:    make(map[string]*parkedSession),
 		start:     time.Now(),
-	}, nil
+	}
 }
 
 // Addr returns the bound ingest address (useful with ":0").
@@ -225,33 +346,61 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		s.activeConns.Add(1)
+		// Register under the lock that Shutdown reads the count under:
+		// every accepted connection is either counted before the drain
+		// snapshot (and therefore awaited) or registers against an
+		// already-begun shutdown — still handled, because graceful drain
+		// means connections the listener delivered run to completion.
+		s.mu.Lock()
+		s.conns++
+		s.mu.Unlock()
 		go func() {
-			defer s.activeConns.Done()
+			defer s.connDone()
 			s.handle(conn)
 		}()
 	}
 }
 
+// connDone retires one connection handler and, if it was the last and a
+// drain is waiting, signals the drain exactly once.
+func (s *Server) connDone() {
+	s.mu.Lock()
+	s.conns--
+	if s.conns == 0 && s.drainCh != nil {
+		close(s.drainCh)
+		s.drainCh = nil
+	}
+	s.mu.Unlock()
+}
+
 // Shutdown stops accepting and drains: in-flight and queued sessions run
 // to completion. If ctx expires first, remaining connections are closed
-// forcibly and ctx.Err is returned.
+// forcibly and ctx.Err is returned. Parked sessions cannot outlive the
+// server: once the drain completes their state is discarded (the
+// listener is closed, so no resume can arrive).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
+	var done chan struct{}
+	if s.conns > 0 {
+		if s.drainCh == nil {
+			s.drainCh = make(chan struct{})
+		}
+		done = s.drainCh
+	}
 	s.mu.Unlock()
 	if !already {
 		s.ln.Close()
 	}
 
-	done := make(chan struct{})
-	go func() {
-		s.activeConns.Wait()
-		close(done)
-	}()
+	if done == nil {
+		s.closeParked()
+		return nil
+	}
 	select {
 	case <-done:
+		s.closeParked()
 		return nil
 	case <-ctx.Done():
 		// One cancellation fans out through the session context tree:
@@ -259,6 +408,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// connection's AfterFunc closes its conn, unblocking any read.
 		s.cancelAll(errDraining)
 		<-done
+		s.closeParked()
 		return ctx.Err()
 	}
 }
@@ -271,6 +421,75 @@ func (s *Server) Close() error {
 		return err
 	}
 	return nil
+}
+
+// park stores an interrupted (or completed) resumable session's state
+// under its token for the grace window. After Shutdown has begun the
+// state is discarded instead: the listener is closed, no resume can
+// arrive, and parked analyzers must not outlive the server.
+func (s *Server) park(p *parkedSession) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if p.ts != nil {
+			p.ts.Close()
+		}
+		return
+	}
+	p.gen++
+	gen := p.gen
+	p.timer = time.AfterFunc(s.cfg.ResumeGrace, func() { s.expirePark(p, gen) })
+	s.parked[p.token] = p
+	s.mu.Unlock()
+}
+
+// takeParked claims a parked session, removing it from the table and
+// disarming its grace timer. The caller owns the returned state: it must
+// consume it, re-park it, or close its tempstream.Session.
+func (s *Server) takeParked(token string) *parkedSession {
+	s.mu.Lock()
+	p := s.parked[token]
+	if p != nil {
+		delete(s.parked, token)
+		p.timer.Stop()
+	}
+	s.mu.Unlock()
+	return p
+}
+
+// expirePark discards a parked session whose grace window lapsed. The
+// generation check makes a stale timer (one whose Stop raced its firing)
+// a no-op even when the same state has been re-parked since.
+func (s *Server) expirePark(p *parkedSession, gen int) {
+	s.mu.Lock()
+	if cur := s.parked[p.token]; cur != p || p.gen != gen {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.parked, p.token)
+	s.mu.Unlock()
+	s.totalExpired.Add(1)
+	if p.ts != nil {
+		p.ts.Close()
+	}
+}
+
+// closeParked discards every parked session (at end of Shutdown, after
+// s.closed prevents new parks).
+func (s *Server) closeParked() {
+	s.mu.Lock()
+	ps := make([]*parkedSession, 0, len(s.parked))
+	for _, p := range s.parked {
+		ps = append(ps, p)
+	}
+	s.parked = make(map[string]*parkedSession)
+	s.mu.Unlock()
+	for _, p := range ps {
+		p.timer.Stop()
+		if p.ts != nil {
+			p.ts.Close()
+		}
+	}
 }
 
 // countingSink forwards to the session's analysis sink while counting
@@ -293,7 +512,8 @@ func (s *Server) register(sess *session) {
 	s.mu.Lock()
 	for id, old := range s.sessions {
 		state := *old.state.Load()
-		if (state == StateDone || state == StateFailed) && now.Sub(old.finished) > finishedTTL {
+		if (state == StateDone || state == StateFailed || state == StateParked) &&
+			now.Sub(old.finished) > finishedTTL {
 			delete(s.sessions, id)
 		}
 	}
@@ -335,74 +555,136 @@ func (s *Server) handle(conn net.Conn) {
 	s.totalSessions.Add(1)
 
 	ic := &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout, cancel: cancel}
-	res, err := s.runSession(ctx, sess, ic)
-	if err != nil && ic.teardown {
+	cw := &ctlWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: s.cfg.IdleTimeout}
+	res, fail := s.runSession(ctx, sess, ic, cw)
+	if fail != nil && ic.teardown {
 		// A read error caused by our own teardown is better reported as
 		// the cancellation cause (idle timeout, draining) than as "use of
 		// closed network connection" — but only then: a genuine protocol
 		// or validation fault that merely races the drain keeps its real
 		// message.
 		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
-			err = cause
+			fail.err = cause
+			if errors.Is(cause, errDraining) {
+				fail.code = CodeDraining
+				fail.retryAfter = s.cfg.RetryHint
+			}
 		}
 	}
 
 	var resp Response
-	if err != nil {
-		s.totalFailed.Add(1)
-		resp.Error = err.Error()
+	if fail != nil {
+		resp.Error = fail.err.Error()
+		resp.Code = fail.code
+		resp.RetryAfterMS = int(fail.retryAfter / time.Millisecond)
+		if !fail.parked {
+			s.totalFailed.Add(1)
+		}
 	} else {
 		resp.Result = res
 	}
 	s.mu.Lock()
-	if err != nil {
-		sess.setState(StateFailed)
-	} else {
+	switch {
+	case fail == nil:
 		sess.setState(StateDone)
 		sess.streamFrac = res.StreamFrac
 		sess.mpki = res.MPKI
+	case fail.parked:
+		sess.setState(StateParked)
+	default:
+		sess.setState(StateFailed)
 	}
 	sess.finished = time.Now()
 	s.mu.Unlock()
 
-	bw := bufio.NewWriter(conn)
-	if err := json.NewEncoder(bw).Encode(resp); err == nil {
-		bw.Flush()
-	}
+	cw.writeLine(resp) // best effort: the peer may be gone
 }
 
 // runSession negotiates, acquires a slot, and streams the connection's
 // records through a tempstream.Session. ctx is the session's node in the
 // server's context tree; ic is the connection wrapped with the idle
-// deadline (whose trip cancels ctx with the idle cause).
-func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn) (*SessionResult, error) {
+// deadline (whose trip cancels ctx with the idle cause); cw is the
+// deadline-bounded control-channel writer shared with handle's final
+// response.
+//
+// A request with Resume non-nil selects the resumable protocol: the
+// server answers with a hello line (token, next expected data frame)
+// once the session is admitted, acknowledges each decoded data frame,
+// and — if the stream dies at a clean frame boundary — parks the
+// analyzer state under the token for Config.ResumeGrace so the client
+// can reconnect and continue the same incremental analysis.
+func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw *ctlWriter) (*SessionResult, *sessionFailure) {
 	br := bufio.NewReaderSize(ic, 64<<10)
 
 	// Negotiation: one JSON line.
 	line, err := readLine(br, requestLimit)
 	if err != nil {
-		return nil, fmt.Errorf("reading request: %w", err)
+		if errors.Is(err, errRequestTooLarge) {
+			return nil, &sessionFailure{code: CodeTooLarge, err: err}
+		}
+		return nil, failf(CodeBadRequest, "reading request: %v", err)
 	}
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return nil, fmt.Errorf("parsing request: %w", err)
+		return nil, failf(CodeBadRequest, "parsing request: %v", err)
 	}
 	// The session is already visible to Stats, so the label lands under
 	// the same lock Stats reads with.
 	s.mu.Lock()
 	sess.label = req.Label
 	s.mu.Unlock()
-	if req.Analysis.MaxMisses < 0 {
-		return nil, fmt.Errorf("analysis window %d is negative", req.Analysis.MaxMisses)
+
+	resumable := req.Resume != nil
+	var parked *parkedSession
+	if resumable && req.Resume.Token != "" {
+		if parked = s.takeParked(req.Resume.Token); parked == nil {
+			return nil, failf(CodeResumeUnknown, "resume token unknown or expired (grace window %v)", s.cfg.ResumeGrace)
+		}
+		s.mu.Lock()
+		sess.label = parked.label
+		s.mu.Unlock()
+		// The parked session had already completed: redeliver its result
+		// without touching the slot pool, and re-park it in case this
+		// response line is lost too.
+		if parked.done != nil {
+			cw.writeLine(Hello{Token: parked.token, NextFrame: parked.frames, Done: true})
+			done := parked.done
+			s.park(parked)
+			return done, nil
+		}
+		s.totalResumed.Add(1)
 	}
-	if req.Analysis.MaxMisses == 0 || req.Analysis.MaxMisses > s.cfg.MaxWindow {
-		req.Analysis.MaxMisses = s.cfg.MaxWindow
+
+	if parked == nil {
+		if req.Analysis.MaxMisses < 0 {
+			return nil, failf(CodeBadRequest, "analysis window %d is negative", req.Analysis.MaxMisses)
+		}
+		if req.Analysis.MaxMisses == 0 || req.Analysis.MaxMisses > s.cfg.MaxWindow {
+			req.Analysis.MaxMisses = s.cfg.MaxWindow
+		}
+		if pf := req.Prefetch; pf != nil {
+			if pf.HistoryLen < 1 || pf.HistoryLen > MaxPrefetchHistory ||
+				pf.BufferBlocks < 1 || pf.BufferBlocks > MaxPrefetchBuffer {
+				return nil, failf(CodeBadRequest, "prefetch config must be bounded: history_len in [1,%d], buffer_blocks in [1,%d]",
+					MaxPrefetchHistory, MaxPrefetchBuffer)
+			}
+		}
 	}
-	if pf := req.Prefetch; pf != nil {
-		if pf.HistoryLen < 1 || pf.HistoryLen > MaxPrefetchHistory ||
-			pf.BufferBlocks < 1 || pf.BufferBlocks > MaxPrefetchBuffer {
-			return nil, fmt.Errorf("prefetch config must be bounded: history_len in [1,%d], buffer_blocks in [1,%d]",
-				MaxPrefetchHistory, MaxPrefetchBuffer)
+
+	// Explicit shed: when the queue is already MaxQueue deep, a new
+	// arrival cannot be admitted within QueueTimeout anyway — tell it so
+	// now, with a retry hint, instead of making it discover the overload
+	// by waiting. An interrupted resume goes back to the park table so
+	// the retry still finds its state.
+	if s.cfg.MaxQueue > 0 && int(s.queued.Load()) >= s.cfg.MaxQueue {
+		s.totalShed.Add(1)
+		if parked != nil {
+			s.park(parked)
+		}
+		return nil, &sessionFailure{
+			code:       CodeBusy,
+			retryAfter: s.cfg.RetryHint,
+			err:        fmt.Errorf("server busy: queue full (%d sessions waiting)", s.cfg.MaxQueue),
 		}
 	}
 
@@ -412,44 +694,130 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn) (*
 	// context, bounded by Config.QueueTimeout (so producers multiplexing
 	// several sessions cannot deadlock the slot pool) and torn down with
 	// the tree when the server force-drains.
+	s.queued.Add(1)
 	slotCtx, cancelSlot := context.WithTimeoutCause(ctx, s.cfg.QueueTimeout, errSlotWait)
-	defer cancelSlot()
 	select {
 	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
+		cancelSlot()
 	case <-slotCtx.Done():
+		s.queued.Add(-1)
 		cause := context.Cause(slotCtx)
-		if errors.Is(cause, errSlotWait) {
-			return nil, fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout)
+		cancelSlot()
+		if parked != nil {
+			s.park(parked)
 		}
-		return nil, cause
+		switch {
+		case errors.Is(cause, errSlotWait):
+			s.totalShed.Add(1)
+			return nil, &sessionFailure{
+				code:       CodeBusy,
+				retryAfter: s.cfg.RetryHint,
+				err:        fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout),
+			}
+		case errors.Is(cause, errDraining):
+			return nil, &sessionFailure{code: CodeDraining, retryAfter: s.cfg.RetryHint, err: cause}
+		default:
+			return nil, &sessionFailure{code: CodeStream, err: cause}
+		}
 	}
 	defer func() { <-s.slots }()
 	sess.setState(StateReceiving)
 
+	// Resumable sessions get their hello (token, replay position) only
+	// now: admission is the point where streaming may begin, and a
+	// client must not stream before it knows where to resume from.
+	token := ""
+	if parked != nil {
+		token = parked.token
+	} else if resumable {
+		token = newToken()
+	}
 	dec := wire.NewDecoder(br)
+	if resumable {
+		var nextFrame int64
+		if parked != nil {
+			nextFrame = parked.frames
+		}
+		if err := cw.writeLine(Hello{Token: token, NextFrame: nextFrame}); err != nil {
+			if parked != nil {
+				s.park(parked)
+			}
+			return nil, &sessionFailure{code: CodeStream, err: fmt.Errorf("writing hello: %w", err), parked: parked != nil}
+		}
+		dec.SetFrameHook(func(frames, records int64) error {
+			return cw.writeLine(Ack{Ack: frames})
+		})
+	}
+
 	meta, err := dec.Meta()
 	if err != nil {
-		return nil, err
-	}
-	// A per-CPU prefetcher allocates one engine per processor, so the
-	// memory ceiling applies to the product, not the per-engine bounds —
-	// checkable only now that the wire header has declared the CPU count.
-	if pf := req.Prefetch; pf != nil && pf.PerCPU {
-		if pf.HistoryLen*meta.CPUs > MaxPrefetchHistory || pf.BufferBlocks*meta.CPUs > MaxPrefetchBuffer {
-			return nil, fmt.Errorf("per-cpu prefetch config exceeds ceilings at %d cpus: history_len*cpus <= %d, buffer_blocks*cpus <= %d",
-				meta.CPUs, MaxPrefetchHistory, MaxPrefetchBuffer)
+		if parked != nil {
+			s.park(parked)
+			return nil, &sessionFailure{code: CodeStream, err: err, parked: true}
 		}
+		return nil, &sessionFailure{code: CodeStream, err: err}
 	}
-	ts := tempstream.NewSession(meta.CPUs, 0, tempstream.StreamOptions{
-		Analysis: req.Analysis,
-		Prefetch: req.Prefetch,
-	})
+
+	var ts *tempstream.Session
+	if parked != nil {
+		if meta.CPUs != parked.cpus {
+			parked.ts.Close()
+			return nil, failf(CodeBadRequest, "resumed stream declares %d cpus, session was %d", meta.CPUs, parked.cpus)
+		}
+		if err := dec.SetProgress(parked.chain, parked.frames, parked.records); err != nil {
+			parked.ts.Close()
+			return nil, failf(CodeBadRequest, "restoring resume progress: %v", err)
+		}
+		ts = parked.ts
+		sess.records.Store(parked.records)
+	} else {
+		// A per-CPU prefetcher allocates one engine per processor, so the
+		// memory ceiling applies to the product, not the per-engine bounds —
+		// checkable only now that the wire header has declared the CPU count.
+		if pf := req.Prefetch; pf != nil && pf.PerCPU {
+			if pf.HistoryLen*meta.CPUs > MaxPrefetchHistory || pf.BufferBlocks*meta.CPUs > MaxPrefetchBuffer {
+				return nil, failf(CodeBadRequest, "per-cpu prefetch config exceeds ceilings at %d cpus: history_len*cpus <= %d, buffer_blocks*cpus <= %d",
+					meta.CPUs, MaxPrefetchHistory, MaxPrefetchBuffer)
+			}
+		}
+		ts = tempstream.NewSession(meta.CPUs, 0, tempstream.StreamOptions{
+			Analysis: req.Analysis,
+			Prefetch: req.Prefetch,
+		})
+	}
+
 	if _, err := dec.Run(&countingSink{inner: ts, n: &sess.records}); err != nil {
+		// A resumable stream that died at a clean frame boundary parks
+		// its analyzer state for the grace window; anything else (partial
+		// frame delivered, totals mismatch, plain session) discards it.
+		if resumable && dec.Resumable() {
+			chain, frames, records := dec.Progress()
+			s.totalParked.Add(1)
+			s.park(&parkedSession{
+				token:   token,
+				label:   sess.label,
+				cpus:    meta.CPUs,
+				ts:      ts,
+				chain:   chain,
+				frames:  frames,
+				records: records,
+			})
+			return nil, &sessionFailure{code: CodeStream, err: err, parked: true}
+		}
 		ts.Close()
-		return nil, err
+		return nil, &sessionFailure{code: CodeStream, err: err}
 	}
 	s.totalRecords.Add(sess.records.Load())
-	return ResultOf(ts.Result(nil)), nil
+	res := ResultOf(ts.Result(nil))
+	if resumable {
+		// Park the completed result too: if the response line is lost to
+		// a reset, the client resumes and collects it from the park table
+		// instead of failing with resume_unknown.
+		_, frames, _ := dec.Progress()
+		s.park(&parkedSession{token: token, label: sess.label, frames: frames, done: res})
+	}
+	return res, nil
 }
 
 // readLine reads one \n-terminated line of at most limit bytes without
@@ -466,7 +834,7 @@ func readLine(br *bufio.Reader, limit int) ([]byte, error) {
 		}
 		line = append(line, b)
 	}
-	return nil, fmt.Errorf("request exceeds %d bytes", limit)
+	return nil, errRequestTooLarge
 }
 
 // SessionStats is one session's row in the stats snapshot.
@@ -488,8 +856,12 @@ type Stats struct {
 	MaxSessions      int            `json:"max_sessions"`
 	ActiveSessions   int            `json:"active_sessions"`
 	QueuedSessions   int            `json:"queued_sessions"`
+	ParkedSessions   int            `json:"parked_sessions"`
 	TotalSessions    int64          `json:"total_sessions"`
 	FailedSessions   int64          `json:"failed_sessions"`
+	ShedSessions     int64          `json:"shed_sessions"`
+	ResumedSessions  int64          `json:"resumed_sessions"`
+	ExpiredSessions  int64          `json:"expired_sessions"`
 	TotalRecords     int64          `json:"total_records"`
 	IngestRecsPerSec float64        `json:"ingest_records_per_sec"` // completed records / uptime
 	Sessions         []SessionStats `json:"sessions"`
@@ -501,20 +873,29 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	now := time.Now()
 	st := Stats{
-		UptimeSeconds:  now.Sub(s.start).Seconds(),
-		MaxSessions:    s.cfg.MaxSessions,
-		TotalSessions:  s.totalSessions.Load(),
-		FailedSessions: s.totalFailed.Load(),
-		TotalRecords:   s.totalRecords.Load(),
+		UptimeSeconds:   now.Sub(s.start).Seconds(),
+		MaxSessions:     s.cfg.MaxSessions,
+		TotalSessions:   s.totalSessions.Load(),
+		FailedSessions:  s.totalFailed.Load(),
+		ShedSessions:    s.totalShed.Load(),
+		ResumedSessions: s.totalResumed.Load(),
+		ExpiredSessions: s.totalExpired.Load(),
+		TotalRecords:    s.totalRecords.Load(),
 	}
 	if st.UptimeSeconds > 0 {
 		st.IngestRecsPerSec = float64(st.TotalRecords) / st.UptimeSeconds
 	}
+	// The aggregate queue depth is the slot-wait counter — the number the
+	// explicit shed compares against MaxQueue — not a count of sessions in
+	// StateQueued, which also covers the instant between accept and the
+	// request line being read.
+	st.QueuedSessions = int(s.queued.Load())
 	s.mu.Lock()
+	st.ParkedSessions = len(s.parked)
 	for _, sess := range s.sessions {
 		state := *sess.state.Load()
 		end := now
-		if state == StateDone || state == StateFailed {
+		if state == StateDone || state == StateFailed || state == StateParked {
 			end = sess.finished
 		}
 		secs := end.Sub(sess.started).Seconds()
@@ -530,8 +911,6 @@ func (s *Server) Stats() Stats {
 			row.RecordsPerSec = float64(row.Records) / secs
 		}
 		switch state {
-		case StateQueued:
-			st.QueuedSessions++
 		case StateReceiving:
 			st.ActiveSessions++
 		case StateDone:

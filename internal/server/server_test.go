@@ -422,10 +422,16 @@ func TestServerGracefulDrain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
-	// Stream half, then shut down while the session is live.
+	// Stream half, then shut down while the session is live. Wait for
+	// the server to have admitted it first: a dialed connection can
+	// still be sitting in the kernel's accept backlog, and closing the
+	// listener resets backlogged connections rather than draining them.
 	for _, m := range misses[:len(misses)/2] {
 		cs.Append(m)
 	}
+	waitFor(t, "drain session to be admitted", func() bool {
+		return srv.Stats().ActiveSessions == 1
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	shutdownDone := make(chan error, 1)

@@ -15,11 +15,22 @@ import (
 // tsserved ingest loop. A Decoder validates as it goes — magic, version,
 // per-frame CRC, record bounds, and the trailer's total record count — and
 // returns an error rather than panicking on any malformed input (fuzzed in
-// FuzzDecoder).
+// FuzzDecoder). Every error wraps ErrTruncated or ErrCorrupt, so callers
+// can classify failures without string matching.
 //
 // Memory is O(frame): the decoder holds one frame payload at a time
 // (bounded by maxFramePayload) plus the per-CPU delta chain, never the
 // stream.
+//
+// For the ingest server's resume protocol, a Decoder exposes its exact
+// progress — data frames fully consumed, records delivered, and the
+// per-CPU delta chain — via Progress, and a fresh Decoder on a
+// re-established connection continues from that point via SetProgress:
+// the client resends its un-acknowledged frames (whose deltas continue
+// the original chain), and decoding proceeds as if the transport had
+// never failed. Resumable reports whether the decoder stopped on a clean
+// frame boundary; a failure that delivered part of a frame cannot be
+// resumed, because re-sending that frame would double-deliver records.
 type Decoder struct {
 	r    *bufio.Reader
 	meta Meta
@@ -28,20 +39,67 @@ type Decoder struct {
 	payload []byte // reusable frame-payload buffer
 	read    bool   // header frame consumed
 	err     error
+
+	frames   int64 // data frames fully delivered (cumulative across resumes)
+	records  int64 // records delivered (cumulative across resumes)
+	boundary bool  // no partial frame has been delivered
+	hook     func(frames, records int64) error
 }
 
 // NewDecoder prepares a decoder over r. No bytes are read until Meta or
 // Run.
 func NewDecoder(r io.Reader) *Decoder {
 	if br, ok := r.(*bufio.Reader); ok {
-		return &Decoder{r: br}
+		return &Decoder{r: br, boundary: true}
 	}
-	return &Decoder{r: bufio.NewReaderSize(r, 64<<10)}
+	return &Decoder{r: bufio.NewReaderSize(r, 64<<10), boundary: true}
 }
 
-// fail records and returns the decoder's terminal error.
-func (d *Decoder) fail(format string, args ...any) error {
-	d.err = fmt.Errorf("wire: "+format, args...)
+// SetFrameHook installs fn, called after each data frame has been fully
+// delivered to the sink with the cumulative (frames, records) progress.
+// The ingest server acknowledges consumed frames from this hook; a hook
+// error aborts the decode (the decoder remains at a clean boundary).
+func (d *Decoder) SetFrameHook(fn func(frames, records int64) error) { d.hook = fn }
+
+// Progress returns the decoder's exact position: data frames fully
+// consumed, records delivered, and a copy of the per-CPU delta chain.
+// Valid after Meta; the ingest server parks this alongside the analyzer
+// state when a resumable session's transport fails.
+func (d *Decoder) Progress() (chain []uint64, frames, records int64) {
+	chain = append([]uint64(nil), d.prev...)
+	return chain, d.frames, d.records
+}
+
+// SetProgress restores a parked stream position on a fresh decoder: the
+// delta chain, frame count, and record count continue from where the
+// previous connection's decoder stopped. Call after Meta (the chain's
+// length must match the stream's CPU count); the next frames on the wire
+// must be the client's replay from exactly this point.
+func (d *Decoder) SetProgress(chain []uint64, frames, records int64) error {
+	if !d.read {
+		return fmt.Errorf("wire: SetProgress before Meta")
+	}
+	if len(chain) != d.meta.CPUs {
+		return fmt.Errorf("wire: resume chain has %d cpus, stream declares %d (%w)",
+			len(chain), d.meta.CPUs, ErrCorrupt)
+	}
+	copy(d.prev, chain)
+	d.frames = frames
+	d.records = records
+	return nil
+}
+
+// Resumable reports whether the decoder's failure (if any) left it on a
+// clean frame boundary, i.e. no record of a partially-decoded frame was
+// delivered to the sink. Only then may a session resume by re-sending
+// frames from Progress.
+func (d *Decoder) Resumable() bool { return d.boundary }
+
+// fail records and returns the decoder's terminal error, wrapping kind
+// (ErrTruncated or ErrCorrupt) for classification.
+func (d *Decoder) fail(kind error, format string, args ...any) error {
+	args = append(args, kind)
+	d.err = fmt.Errorf("wire: "+format+": %w", args...)
 	return d.err
 }
 
@@ -53,28 +111,28 @@ func (d *Decoder) readFrame() (byte, []byte, error) {
 		return 0, nil, io.EOF // clean frame boundary; callers decide if it is premature
 	}
 	if err != nil {
-		return 0, nil, d.fail("reading frame kind: %v", err)
+		return 0, nil, d.fail(ErrTruncated, "reading frame kind: %v", err)
 	}
 	size, err := binary.ReadUvarint(d.r)
 	if err != nil {
-		return 0, nil, d.fail("frame %c length: %v", kind, noEOF(err))
+		return 0, nil, d.fail(ErrTruncated, "frame %c length: %v", kind, noEOF(err))
 	}
 	if size > maxFramePayload {
-		return 0, nil, d.fail("frame %c payload %d exceeds limit", kind, size)
+		return 0, nil, d.fail(ErrCorrupt, "frame %c payload %d exceeds limit", kind, size)
 	}
 	if uint64(cap(d.payload)) < size {
 		d.payload = make([]byte, size)
 	}
 	p := d.payload[:size]
 	if _, err := io.ReadFull(d.r, p); err != nil {
-		return 0, nil, d.fail("frame %c payload: %v", kind, noEOF(err))
+		return 0, nil, d.fail(ErrTruncated, "frame %c payload: %v", kind, noEOF(err))
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(d.r, crcBuf[:]); err != nil {
-		return 0, nil, d.fail("frame %c crc: %v", kind, noEOF(err))
+		return 0, nil, d.fail(ErrTruncated, "frame %c crc: %v", kind, noEOF(err))
 	}
 	if want := binary.LittleEndian.Uint32(crcBuf[:]); crc32.Checksum(p, crcTable) != want {
-		return 0, nil, d.fail("frame %c crc mismatch", kind)
+		return 0, nil, d.fail(ErrCorrupt, "frame %c crc mismatch", kind)
 	}
 	return kind, p, nil
 }
@@ -99,31 +157,31 @@ func (d *Decoder) Meta() (Meta, error) {
 	}
 	var m [4]byte
 	if _, err := io.ReadFull(d.r, m[:]); err != nil {
-		return Meta{}, d.fail("reading magic: %v", noEOF(err))
+		return Meta{}, d.fail(ErrTruncated, "reading magic: %v", noEOF(err))
 	}
 	if m != magic {
-		return Meta{}, d.fail("bad magic %q", m[:])
+		return Meta{}, d.fail(ErrCorrupt, "bad magic %q", m[:])
 	}
 	kind, p, err := d.readFrame()
 	if err != nil {
 		if err == io.EOF {
-			return Meta{}, d.fail("missing header frame: %v", io.ErrUnexpectedEOF)
+			return Meta{}, d.fail(ErrTruncated, "missing header frame: %v", io.ErrUnexpectedEOF)
 		}
 		return Meta{}, err
 	}
 	if kind != kindHeader {
-		return Meta{}, d.fail("first frame is %c, want header", kind)
+		return Meta{}, d.fail(ErrCorrupt, "first frame is %c, want header", kind)
 	}
 	v, p, ok := uvarint(p)
 	if !ok || v != version {
-		return Meta{}, d.fail("unsupported version %d", v)
+		return Meta{}, d.fail(ErrCorrupt, "unsupported version %d", v)
 	}
 	cpus, p, ok := uvarint(p)
 	if !ok || cpus == 0 || cpus > maxCPUs {
-		return Meta{}, d.fail("invalid cpu count %d", cpus)
+		return Meta{}, d.fail(ErrCorrupt, "invalid cpu count %d", cpus)
 	}
 	if len(p) != 0 {
-		return Meta{}, d.fail("trailing bytes in header frame")
+		return Meta{}, d.fail(ErrCorrupt, "trailing bytes in header frame")
 	}
 	d.meta = Meta{Version: int(v), CPUs: int(cpus)}
 	d.prev = make([]uint64, cpus)
@@ -158,32 +216,48 @@ func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
 	if _, err := d.Meta(); err != nil {
 		return Trailer{}, err
 	}
-	records := int64(0)
 	for {
 		kind, p, err := d.readFrame()
 		if err != nil {
 			if err == io.EOF {
-				return Trailer{}, d.fail("stream truncated before trailer (%d records decoded)", records)
+				return Trailer{}, d.fail(ErrTruncated, "stream truncated before trailer (%d records decoded)", d.records)
 			}
 			return Trailer{}, err
 		}
 		switch kind {
 		case kindData:
 			n, err := d.decodeData(p, sink)
-			records += n
+			d.records += n
 			if err != nil {
+				if n > 0 {
+					// Records of a malformed frame reached the sink; a
+					// resume would re-deliver them.
+					d.boundary = false
+				}
 				return Trailer{}, err
+			}
+			d.frames++
+			if d.hook != nil {
+				if err := d.hook(d.frames, d.records); err != nil {
+					// The hook failed (e.g. the ack write's transport);
+					// the frame itself was fully consumed, so the
+					// boundary stays clean.
+					d.err = fmt.Errorf("wire: frame hook: %w", err)
+					return Trailer{}, d.err
+				}
 			}
 		case kindTrailer:
 			tr, err := d.decodeTrailer(p)
 			if err != nil {
 				return Trailer{}, err
 			}
-			if int64(tr.Header.Misses) != records {
-				return Trailer{}, d.fail("trailer claims %d records, stream carried %d", tr.Header.Misses, records)
+			if int64(tr.Header.Misses) != d.records {
+				d.boundary = false // the producer's totals are wrong; re-sending cannot fix them
+				return Trailer{}, d.fail(ErrCorrupt, "trailer claims %d records, stream carried %d", tr.Header.Misses, d.records)
 			}
 			if tr.Header.CPUs != d.meta.CPUs {
-				return Trailer{}, d.fail("trailer cpu count %d != header %d", tr.Header.CPUs, d.meta.CPUs)
+				d.boundary = false
+				return Trailer{}, d.fail(ErrCorrupt, "trailer cpu count %d != header %d", tr.Header.CPUs, d.meta.CPUs)
 			}
 			// The trailer ends the stream; Run does NOT demand EOF after
 			// it, because on a network connection the transport stays open
@@ -192,9 +266,9 @@ func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
 			sink.Finish(tr.Header)
 			return tr, nil
 		case kindHeader:
-			return Trailer{}, d.fail("duplicate header frame")
+			return Trailer{}, d.fail(ErrCorrupt, "duplicate header frame")
 		default:
-			return Trailer{}, d.fail("unknown frame kind %#x", kind)
+			return Trailer{}, d.fail(ErrCorrupt, "unknown frame kind %#x", kind)
 		}
 	}
 }
@@ -204,39 +278,39 @@ func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
 func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 	count, p, ok := uvarint(p)
 	if !ok {
-		return 0, d.fail("data frame count")
+		return 0, d.fail(ErrCorrupt, "data frame count")
 	}
 	// Each record is at least 3 bytes; an overlarge count is corruption.
 	if count > uint64(len(p)) {
-		return 0, d.fail("data frame claims %d records in %d bytes", count, len(p))
+		return 0, d.fail(ErrCorrupt, "data frame claims %d records in %d bytes", count, len(p))
 	}
 	for i := uint64(0); i < count; i++ {
 		var key, fn uint64
 		var delta int64
 		if key, p, ok = uvarint(p); !ok {
-			return int64(i), d.fail("record %d key", i)
+			return int64(i), d.fail(ErrCorrupt, "record %d key", i)
 		}
 		cpu := key >> 4
 		class := trace.MissClass(key >> 2 & 3)
 		supplier := trace.Supplier(key & 3)
 		if cpu >= uint64(d.meta.CPUs) {
-			return int64(i), d.fail("record cpu %d out of range (%d cpus)", cpu, d.meta.CPUs)
+			return int64(i), d.fail(ErrCorrupt, "record cpu %d out of range (%d cpus)", cpu, d.meta.CPUs)
 		}
 		if class >= trace.NumMissClasses || supplier >= trace.NumSuppliers {
-			return int64(i), d.fail("record class/supplier %d/%d invalid", class, supplier)
+			return int64(i), d.fail(ErrCorrupt, "record class/supplier %d/%d invalid", class, supplier)
 		}
 		if fn, p, ok = uvarint(p); !ok {
-			return int64(i), d.fail("record %d func", i)
+			return int64(i), d.fail(ErrCorrupt, "record %d func", i)
 		}
 		if fn >= maxFuncs {
-			return int64(i), d.fail("record func id %d out of range", fn)
+			return int64(i), d.fail(ErrCorrupt, "record func id %d out of range", fn)
 		}
 		if delta, p, ok = varint(p); !ok {
-			return int64(i), d.fail("record %d addr delta", i)
+			return int64(i), d.fail(ErrCorrupt, "record %d addr delta", i)
 		}
 		block := int64(d.prev[cpu]) + delta
 		if block < 0 || block >= 1<<58 {
-			return int64(i), d.fail("record %d block %d out of range", i, block)
+			return int64(i), d.fail(ErrCorrupt, "record %d block %d out of range", i, block)
 		}
 		d.prev[cpu] = uint64(block)
 		sink.Append(trace.Miss{
@@ -248,7 +322,7 @@ func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 		})
 	}
 	if len(p) != 0 {
-		return int64(count), d.fail("trailing bytes in data frame")
+		return int64(count), d.fail(ErrCorrupt, "trailing bytes in data frame")
 	}
 	return int64(count), nil
 }
@@ -258,44 +332,44 @@ func (d *Decoder) decodeTrailer(p []byte) (Trailer, error) {
 	var tr Trailer
 	misses, p, ok := uvarint(p)
 	if !ok || misses > 1<<40 {
-		return tr, d.fail("trailer miss count")
+		return tr, d.fail(ErrCorrupt, "trailer miss count")
 	}
 	instr, p, ok := uvarint(p)
 	if !ok {
-		return tr, d.fail("trailer instruction count")
+		return tr, d.fail(ErrCorrupt, "trailer instruction count")
 	}
 	cpus, p, ok := uvarint(p)
 	if !ok || cpus == 0 || cpus > maxCPUs {
-		return tr, d.fail("trailer cpu count")
+		return tr, d.fail(ErrCorrupt, "trailer cpu count")
 	}
 	nfuncs, p, ok := uvarint(p)
 	if !ok || nfuncs > maxFuncs {
-		return tr, d.fail("trailer func count")
+		return tr, d.fail(ErrCorrupt, "trailer func count")
 	}
 	if nfuncs > 0 {
 		tr.Funcs = make([]FuncMeta, 0, min(nfuncs, 1024))
 		for i := uint64(0); i < nfuncs; i++ {
 			if len(p) == 0 {
-				return tr, d.fail("trailer func %d: truncated", i)
+				return tr, d.fail(ErrCorrupt, "trailer func %d: truncated", i)
 			}
 			cat := trace.Category(p[0])
 			if cat >= trace.NumCategories {
-				return tr, d.fail("trailer func %d: invalid category %d", i, cat)
+				return tr, d.fail(ErrCorrupt, "trailer func %d: invalid category %d", i, cat)
 			}
 			p = p[1:]
 			var nameLen uint64
 			if nameLen, p, ok = uvarint(p); !ok || nameLen > maxNameLen {
-				return tr, d.fail("trailer func %d: name length", i)
+				return tr, d.fail(ErrCorrupt, "trailer func %d: name length", i)
 			}
 			if uint64(len(p)) < nameLen {
-				return tr, d.fail("trailer func %d: truncated name", i)
+				return tr, d.fail(ErrCorrupt, "trailer func %d: truncated name", i)
 			}
 			tr.Funcs = append(tr.Funcs, FuncMeta{Name: string(p[:nameLen]), Category: cat})
 			p = p[nameLen:]
 		}
 	}
 	if len(p) != 0 {
-		return tr, d.fail("trailing bytes in trailer frame")
+		return tr, d.fail(ErrCorrupt, "trailing bytes in trailer frame")
 	}
 	tr.Header = trace.Header{Misses: int(misses), Instructions: instr, CPUs: int(cpus)}
 	return tr, nil
@@ -310,9 +384,9 @@ func (d *Decoder) ExpectEOF() error {
 	}
 	if _, err := d.r.ReadByte(); err != io.EOF {
 		if err != nil {
-			return d.fail("after trailer: %v", err)
+			return d.fail(ErrTruncated, "after trailer: %v", err)
 		}
-		return d.fail("data after trailer")
+		return d.fail(ErrCorrupt, "data after trailer")
 	}
 	return nil
 }

@@ -1,0 +1,174 @@
+package wire_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// decodeThroughFaults streams data through a fault-injected half of a
+// net.Pipe and decodes on the far side: the decoder experiences exactly
+// what a tsserved session sees when a chaos-wrapped client streams at it.
+// wrapRead optionally wraps the decoder's side of the pipe (the read-stall
+// test uses it to impose a deadline, the way the server's idle timeout
+// does).
+func decodeThroughFaults(t *testing.T, data []byte, spec faultnet.Spec, idx int64,
+	wrapRead func(net.Conn) io.Reader) (*recordingSink, error) {
+	t.Helper()
+	client, srv := net.Pipe()
+	t.Cleanup(func() { client.Close(); srv.Close() })
+	wrapped := faultnet.WrapConn(client, spec, idx)
+	go func() {
+		for off := 0; off < len(data); {
+			end := min(off+4096, len(data))
+			n, err := wrapped.Write(data[off:end])
+			off += n
+			if err != nil {
+				return // injected reset, or the decoder side gave up
+			}
+		}
+		wrapped.Close()
+	}()
+	var r io.Reader = srv
+	if wrapRead != nil {
+		r = wrapRead(srv)
+	}
+	var sink recordingSink
+	_, err := wire.NewDecoder(r).Run(&sink)
+	return &sink, err
+}
+
+// requireTypedFailure asserts the contract every fault injection must
+// hold to: an error that classifies via errors.Is, and no Finish
+// delivered to the sink.
+func requireTypedFailure(t *testing.T, sink *recordingSink, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: decode succeeded, want a typed error", what)
+	}
+	if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("%s: error %v wraps neither ErrTruncated nor ErrCorrupt", what, err)
+	}
+	if len(sink.finishes) != 0 {
+		t.Fatalf("%s: sink received Finish despite error %v", what, err)
+	}
+}
+
+// TestDecoderThroughFaultnetClean is the harness sanity check: faults
+// that reorder delivery without destroying bytes (partial writes plus
+// latency) must leave the decode byte-identical and deliver Finish once.
+func TestDecoderThroughFaultnetClean(t *testing.T) {
+	misses := synthMisses(9000, 4, 21)
+	h := trace.Header{Misses: len(misses), Instructions: 777, CPUs: 4}
+	data := encodeStream(t, misses, h, nil)
+	spec := faultnet.Spec{Seed: 3, PartialWrites: true, MaxLatency: 50 * time.Microsecond}
+	sink, err := decodeThroughFaults(t, data, spec, 0, nil)
+	if err != nil {
+		t.Fatalf("partial writes broke a clean decode: %v", err)
+	}
+	if len(sink.finishes) != 1 || sink.finishes[0] != h {
+		t.Fatalf("finishes %+v, want exactly [%+v]", sink.finishes, h)
+	}
+	if len(sink.misses) != len(misses) {
+		t.Fatalf("decoded %d records, want %d", len(sink.misses), len(misses))
+	}
+}
+
+// TestDecoderThroughFaultnetReset injects connection resets at seeded
+// byte offsets: every such mid-stream cut must surface as ErrTruncated —
+// never a panic, never a Finish — because the bytes that did arrive are a
+// clean prefix of a valid stream.
+func TestDecoderThroughFaultnetReset(t *testing.T) {
+	misses := synthMisses(20000, 4, 31)
+	h := trace.Header{Misses: len(misses), Instructions: 5, CPUs: 4}
+	data := encodeStream(t, misses, h, nil)
+	// Mean gap of len/4 puts every first reset inside the stream
+	// (offsets are drawn from [1, len/2)), at a different byte per seed.
+	spec := faultnet.Spec{ResetEvery: int64(len(data) / 4)}
+	for seed := int64(0); seed < 16; seed++ {
+		spec.Seed = seed
+		sink, err := decodeThroughFaults(t, data, spec, seed, nil)
+		requireTypedFailure(t, sink, err, "reset")
+		if !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("seed %d: reset produced %v, want ErrTruncated", seed, err)
+		}
+		if len(sink.misses) >= len(misses) {
+			t.Fatalf("seed %d: full stream delivered despite reset", seed)
+		}
+	}
+}
+
+// TestDecoderThroughFaultnetCorruption flips seeded bits in flight: the
+// frame CRCs (or the structural validation a flipped length field trips)
+// must catch every one with a typed error. A flip that enlarges a length
+// varint may legitimately classify as truncation — the reader runs out of
+// bytes chasing the phantom length — so both classes are acceptable; what
+// is not acceptable is success, a panic, or an unclassified error.
+func TestDecoderThroughFaultnetCorruption(t *testing.T) {
+	misses := synthMisses(20000, 4, 41)
+	h := trace.Header{Misses: len(misses), Instructions: 5, CPUs: 4}
+	data := encodeStream(t, misses, h, nil)
+	spec := faultnet.Spec{CorruptEvery: int64(len(data) / 4)}
+	sawCorrupt := false
+	for seed := int64(0); seed < 16; seed++ {
+		spec.Seed = seed
+		sink, err := decodeThroughFaults(t, data, spec, seed, nil)
+		requireTypedFailure(t, sink, err, "corruption")
+		if errors.Is(err, wire.ErrCorrupt) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Errorf("16 corruption seeds never classified as ErrCorrupt (CRC path untested)")
+	}
+}
+
+// deadlineReader imposes a fresh read deadline per Read, the shape of the
+// server's idle timeout.
+type deadlineReader struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.d))
+	return r.conn.Read(p)
+}
+
+// TestDecoderThroughFaultnetStall stalls reads past a per-read deadline:
+// the decoder must report the timeout as ErrTruncated (a transport
+// failure, resumable at a frame boundary) rather than hanging or
+// delivering a short stream as success.
+func TestDecoderThroughFaultnetStall(t *testing.T) {
+	misses := synthMisses(20000, 4, 51)
+	h := trace.Header{Misses: len(misses), Instructions: 5, CPUs: 4}
+	data := encodeStream(t, misses, h, nil)
+	// Stall on the decoder's side of the pipe: every read sleeps past the
+	// 30ms deadline, so the first (or second) read trips it.
+	spec := faultnet.Spec{Seed: 9, StallEvery: 1, StallFor: 150 * time.Millisecond}
+	client, srv := net.Pipe()
+	t.Cleanup(func() { client.Close(); srv.Close() })
+	go func() {
+		for off := 0; off < len(data); {
+			end := min(off+4096, len(data))
+			n, err := client.Write(data[off:end])
+			off += n
+			if err != nil {
+				return
+			}
+		}
+	}()
+	stalled := faultnet.WrapConn(srv, spec, 0)
+	var sink recordingSink
+	_, err := wire.NewDecoder(deadlineReader{conn: stalled, d: 30 * time.Millisecond}).Run(&sink)
+	requireTypedFailure(t, &sink, err, "stall")
+	if !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("stalled read produced %v, want ErrTruncated", err)
+	}
+}

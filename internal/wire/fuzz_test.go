@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/trace"
@@ -28,6 +29,9 @@ func FuzzDecoder(f *testing.F) {
 		if err != nil {
 			if len(sink.finishes) != 0 {
 				t.Fatalf("decoder delivered Finish despite error %v", err)
+			}
+			if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+				t.Fatalf("error %v wraps neither ErrTruncated nor ErrCorrupt", err)
 			}
 			return
 		}

@@ -41,9 +41,27 @@
 package wire
 
 import (
+	"errors"
 	"hash/crc32"
 
 	"repro/internal/trace"
+)
+
+// Decode failure kinds. Every decoder error wraps exactly one of these,
+// so consumers (the ingest server's retry classification, the chaos
+// tests) can distinguish a stream that stopped short from one whose
+// bytes are wrong without string matching:
+//
+//   - ErrTruncated: the stream ended (or the transport failed) before
+//     the trailer — mid-frame EOF, a reset connection, a missing header.
+//     The bytes that did arrive were consistent.
+//   - ErrCorrupt: the bytes are wrong — CRC mismatch, malformed varints,
+//     out-of-range fields, counts that disagree. Retrying the same bytes
+//     would fail again; re-transmitting might not (in-flight corruption
+//     is caught by the frame CRCs).
+var (
+	ErrTruncated = errors.New("truncated stream")
+	ErrCorrupt   = errors.New("corrupt stream")
 )
 
 var magic = [4]byte{'T', 'S', 'W', '1'}

@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -150,7 +151,10 @@ func (r *recordingSink) Finish(h trace.Header) { r.finishes = append(r.finishes,
 
 // TestDecoderTruncation cuts a valid stream at every byte boundary: every
 // prefix must produce an error (never a silent short stream, never a
-// panic), and the sink must never see Finish.
+// panic), the sink must never see Finish, and — because a prefix of a
+// valid stream carries no wrong bytes — the error must classify as
+// ErrTruncated, the class the ingest server's resume protocol treats as
+// recoverable.
 func TestDecoderTruncation(t *testing.T) {
 	misses := synthMisses(500, 3, 11)
 	h := trace.Header{Misses: len(misses), Instructions: 999, CPUs: 3}
@@ -161,6 +165,12 @@ func TestDecoderTruncation(t *testing.T) {
 		if err == nil {
 			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(data))
 		}
+		if !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: error %v does not wrap ErrTruncated", cut, err)
+		}
+		if errors.Is(err, wire.ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes classified corrupt (%v); truncation must not accuse the producer", cut, err)
+		}
 		if len(sink.finishes) != 0 {
 			t.Fatalf("prefix of %d bytes delivered Finish", cut)
 		}
@@ -169,7 +179,9 @@ func TestDecoderTruncation(t *testing.T) {
 
 // TestDecoderCorruption flips every byte of a valid stream in turn: each
 // corruption must be detected (magic, frame kind, length, CRC, or record
-// validation), never silently accepted or panicking.
+// validation), never silently accepted or panicking, and must classify
+// via errors.Is. A flip that enlarges a length varint may surface as
+// truncation (the reader runs out of bytes); everything else is corrupt.
 func TestDecoderCorruption(t *testing.T) {
 	misses := synthMisses(300, 2, 13)
 	h := trace.Header{Misses: len(misses), Instructions: 7, CPUs: 2}
@@ -178,8 +190,12 @@ func TestDecoderCorruption(t *testing.T) {
 	for i := range data {
 		copy(corrupt, data)
 		corrupt[i] ^= 0xFF
-		if _, _, err := wire.ReadAll(bytes.NewReader(corrupt)); err == nil {
+		_, _, err := wire.ReadAll(bytes.NewReader(corrupt))
+		if err == nil {
 			t.Fatalf("flipping byte %d/%d went undetected", i, len(data))
+		}
+		if !errors.Is(err, wire.ErrCorrupt) && !errors.Is(err, wire.ErrTruncated) {
+			t.Fatalf("flipping byte %d: error %v wraps neither ErrCorrupt nor ErrTruncated", i, err)
 		}
 	}
 }

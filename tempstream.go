@@ -181,6 +181,13 @@ func putAnalyzer(an *core.Analyzer) {
 	analyzersOut.Add(-1)
 }
 
+// AnalyzersInFlight reports how many pooled analyzers are currently
+// checked out. It exists for hygiene assertions in other packages'
+// tests (the ingest server parks live sessions across connections, and
+// its tests prove parked state cannot strand an analyzer); production
+// code has no business reading it.
+func AnalyzersInFlight() int64 { return analyzersOut.Load() }
+
 // headerOf derives a window header from a materialized trace.
 func headerOf(tr *trace.Trace) trace.Header {
 	return trace.Header{Misses: tr.Len(), Instructions: tr.Instructions, CPUs: tr.CPUs}
