@@ -1,0 +1,165 @@
+// Command tsgate is the ingest fleet gateway: it fronts N tsserved
+// backends, consistent-hash-routing each new session to a healthy
+// backend (bounded load), health-checking every backend through the
+// ingest-port probe feeding a per-backend circuit breaker, and relaying
+// each session's wire stream frame by frame while holding the frames in
+// a replay ring — when a backend dies mid-session the session restarts
+// on a survivor from frame zero, invisible to the client. When every
+// backend is down or saturated, arrivals are shed with the protocol's
+// typed busy/draining codes and an honest retry hint.
+//
+// Usage:
+//
+//	tsgate -backends host1:7465,host2:7465 [-addr :7464] [-stats :7467]
+//	       [-backends-file PATH] [-name tsgate] [-probe-interval 2s]
+//	       [-load-factor 1.25] [-ring-frames 4096] [-resume-grace 30s]
+//
+// Clients speak to tsgate exactly as they would to a single tsserved —
+// tsload needs only the address swapped. The -stats listener serves the
+// fleet view on /stats (per-backend circuit state, session counts,
+// records/sec) and membership admin on /backends (GET lists, POST
+// replaces; removed backends drain, added ones warm in). SIGHUP re-reads
+// -backends-file for the same live membership edit. SIGINT/SIGTERM drain
+// gracefully, then print a fleet summary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	addr := flag.String("addr", ":7464", "client-facing ingest listen address")
+	statsAddr := flag.String("stats", "", "fleet stats/admin HTTP listen address (empty = disabled)")
+	backends := flag.String("backends", "", "comma-separated backend ingest addresses")
+	backendsFile := flag.String("backends-file", "", "file listing backend addresses (one per line, # comments); SIGHUP re-reads it")
+	name := flag.String("name", "tsgate", "gateway name: the Via label on forwarded sessions and the stats identity")
+	probeInterval := flag.Duration("probe-interval", 0, "health-check period per backend (0 = 2s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "health-check probe timeout (0 = 2s)")
+	loadFactor := flag.Float64("load-factor", 0, "bounded-load cap: skip a backend at ceil(factor*mean) active sessions (0 = 1.25)")
+	ringFrames := flag.Int("ring-frames", 0, "per-session replay ring, in data frames; beyond it a session cannot fail over (0 = 4096)")
+	resumeGrace := flag.Duration("resume-grace", 0, "how long an interrupted resumable session's state is parked for resumption; keep below the backends' idle timeout (0 = 30s)")
+	retryHint := flag.Duration("retry-hint", 0, "retry_after_ms attached to shed responses (0 = 500ms)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between a client connection's reads before it is dropped (0 = 2m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "tsgate: %v\n", err)
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if *backends == "" && *backendsFile == "" {
+		fatal(fmt.Errorf("no backends: pass -backends or -backends-file"))
+	}
+
+	loadMembership := func() ([]string, error) {
+		addrs := gateway.SplitBackendList(*backends)
+		if *backendsFile != "" {
+			body, err := os.ReadFile(*backendsFile)
+			if err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, gateway.SplitBackendList(string(body))...)
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("membership is empty")
+		}
+		return addrs, nil
+	}
+	members, err := loadMembership()
+	if err != nil {
+		fatal(err)
+	}
+
+	gw, err := gateway.Listen(*addr, gateway.Config{
+		Name:          *name,
+		Backends:      members,
+		LoadFactor:    *loadFactor,
+		RingFrames:    *ringFrames,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		RetryHint:     *retryHint,
+		ResumeGrace:   *resumeGrace,
+		IdleTimeout:   *idleTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tsgate: listening on %s (backends=%d)\n", gw.Addr(), len(members))
+
+	var statsSrv *http.Server
+	if *statsAddr != "" {
+		statsLn, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		statsSrv = &http.Server{Handler: gw.Handler()}
+		go func() {
+			if err := statsSrv.Serve(statsLn); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "tsgate: stats listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("tsgate: stats on http://%s/stats\n", statsLn.Addr())
+	}
+	// The "listening" lines are the readiness signal for supervisors and
+	// the fleet e2e test.
+	os.Stdout.Sync()
+
+	// SIGHUP re-reads the membership; removed backends drain, added ones
+	// warm in behind a probe.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			members, err := loadMembership()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tsgate: SIGHUP reload failed: %v\n", err)
+				continue
+			}
+			added, removed := gw.SetBackends(members)
+			fmt.Printf("tsgate: membership reloaded: %d backends (+%d, -%d)\n",
+				len(members), len(added), len(removed))
+		}
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve() }()
+
+	select {
+	case <-sigCtx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Printf("tsgate: signal: draining (timeout %v)\n", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := gw.Shutdown(ctx)
+		if statsSrv != nil {
+			statsSrv.Close()
+		}
+		st := gw.Stats()
+		fmt.Printf("tsgate: drained: %d sessions (%d completed, %d failed, %d shed, %d rerouted, %d resumed) across %d backends\n",
+			st.TotalSessions, st.CompletedSessions, st.FailedSessions, st.ShedSessions,
+			st.ReroutedSessions, st.ResumedSessions, len(st.Backends))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsgate: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-serveErr:
+		if err != nil && err != gateway.ErrGatewayClosed {
+			fatal(err)
+		}
+	}
+}

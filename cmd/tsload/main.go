@@ -8,7 +8,7 @@
 //
 //	tsload -addr HOST:7465 [-clients 4] [-apps all|oltp,apache,...]
 //	       [-machine both] [-intra] [-scale small] [-seed 1] [-target 20000]
-//	       [-window N] [-prefetch] [-repeat 1] [-resilient=true]
+//	       [-window N] [-prefetch] [-repeat 1] [-resilient=true] [-json]
 //
 // Each job simulates one app on one machine model and streams its
 // off-chip misses into one session; with -intra, a single-chip job
@@ -26,6 +26,11 @@
 // -resilient=false for the legacy single-shot client, where any
 // mid-stream failure fails the session.
 //
+// -json emits the run summary as a single JSON object on stdout — job
+// and failure counts, aggregate records/sec, and the recovery counters —
+// for harnesses (the fleet chaos e2e, CI) to parse; the human-readable
+// lines move to stderr.
+//
 // SIGINT/SIGTERM cancels the fleet: queued jobs are dropped, every
 // in-flight simulation stops within one engine step, its half-fed
 // sessions are closed, and the command exits cleanly (status 130) with
@@ -34,9 +39,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sync"
@@ -115,6 +122,7 @@ func main() {
 	pf := flag.Bool("prefetch", false, "request a temporal-stream prefetcher evaluation per session")
 	repeat := flag.Int("repeat", 1, "repetitions of the app x machine job list")
 	resilient := flag.Bool("resilient", true, "retrying/resumable sessions (false = legacy single-shot client)")
+	jsonOut := flag.Bool("json", false, "machine-readable summary as one JSON object on stdout (human lines move to stderr)")
 	flag.Parse()
 
 	fatal := func(err error) {
@@ -155,6 +163,13 @@ func main() {
 		}
 	}
 
+	// With -json, stdout carries exactly one JSON object; every human
+	// line (per-session reports, aggregate) moves to stderr.
+	human := io.Writer(os.Stdout)
+	if *jsonOut {
+		human = os.Stderr
+	}
+
 	req := server.Request{Analysis: core.Options{MaxMisses: *window}}
 	if *pf {
 		req.Prefetch = &prefetch.Config{Depth: 8, HistoryLen: 20000, BufferBlocks: 2048}
@@ -191,7 +206,7 @@ func main() {
 				if ctx.Err() != nil {
 					continue // interrupted: drain the queue without dialing new sessions
 				}
-				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords)
+				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords, human)
 				if errors.Is(err, context.Canceled) {
 					continue // reported once below, not per job
 				}
@@ -217,12 +232,38 @@ dispatch:
 	elapsed := time.Since(start)
 
 	recs := totalRecords.Load()
-	fmt.Printf("tsload: %d jobs, %d sessions failed, %d records in %.2fs = %.0f records/sec aggregate\n",
+	fmt.Fprintf(human, "tsload: %d jobs, %d sessions failed, %d records in %.2fs = %.0f records/sec aggregate\n",
 		len(jobs), failed, recs, elapsed.Seconds(), float64(recs)/elapsed.Seconds())
 	if *resilient {
 		r := fl.retries
-		fmt.Printf("tsload: recovery: dials=%d transport=%d busy=%d draining=%d stream=%d resumes=%d restarts=%d resume_lost=%d\n",
+		fmt.Fprintf(human, "tsload: recovery: dials=%d transport=%d busy=%d draining=%d stream=%d resumes=%d restarts=%d resume_lost=%d\n",
 			r.Dials, r.Transport, r.Busy, r.Draining, r.StreamErrors, r.Resumes, r.Restarts, r.ResumeLost)
+	}
+	if *jsonOut {
+		summary := struct {
+			Jobs           int                `json:"jobs"`
+			FailedSessions int                `json:"failed_sessions"`
+			Records        int64              `json:"records"`
+			Seconds        float64            `json:"seconds"`
+			RecordsPerSec  float64            `json:"records_per_sec"`
+			Interrupted    bool               `json:"interrupted"`
+			Recovery       *server.RetryStats `json:"recovery,omitempty"`
+		}{
+			Jobs:           len(jobs),
+			FailedSessions: failed,
+			Records:        recs,
+			Seconds:        elapsed.Seconds(),
+			RecordsPerSec:  float64(recs) / elapsed.Seconds(),
+			Interrupted:    ctx.Err() != nil,
+		}
+		if *resilient {
+			r := fl.retries
+			summary.Recovery = &r
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(summary); err != nil {
+			fatal(err)
+		}
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "tsload: interrupted, remaining jobs cancelled")
@@ -239,7 +280,7 @@ dispatch:
 // the half-fed sessions are closed (their deferred Close) and ctx's
 // error is returned.
 func runJob(ctx context.Context, fl *fleet, j job, scale workload.Scale, seed int64, target int,
-	intra bool, totalRecords *atomic.Int64) error {
+	intra bool, totalRecords *atomic.Int64, human io.Writer) error {
 	label := fmt.Sprintf("%v/%v", j.app, j.machine)
 	off, err := fl.dial(label, j.machine.CPUCount())
 	if err != nil {
@@ -275,7 +316,7 @@ func runJob(ctx context.Context, fl *fleet, j job, scale workload.Scale, seed in
 			return err
 		}
 		totalRecords.Add(cs.Records())
-		fmt.Printf("  %-22s records=%-8d window=%-7d streams=%5.1f%% mpki=%7.3f %8.0f records/sec\n",
+		fmt.Fprintf(human, "  %-22s records=%-8d window=%-7d streams=%5.1f%% mpki=%7.3f %8.0f records/sec\n",
 			label, cs.Records(), res.Window, 100*res.StreamFrac, res.MPKI,
 			float64(cs.Records())/simSecs)
 		return nil

@@ -53,6 +53,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":7465", "ingest listen address")
 	statsAddr := flag.String("stats", "", "stats HTTP listen address (empty = disabled)")
+	name := flag.String("name", "", "instance name reported in stats (useful behind tsgate)")
 	maxSessions := flag.Int("max-sessions", 16, "concurrent analysis sessions; further sessions queue")
 	maxWindow := flag.Int("max-window", 0, "per-session analysis window ceiling in misses (0 = analysis default)")
 	maxQueue := flag.Int("max-queue", 0, "waiting sessions before new arrivals are shed with busy (0 = 4*max-sessions, negative = no explicit shed)")
@@ -86,6 +87,7 @@ func main() {
 		fatal(err)
 	}
 	srv := server.NewServer(faultnet.Wrap(ln, spec), server.Config{
+		Name:         *name,
 		MaxSessions:  *maxSessions,
 		MaxWindow:    *maxWindow,
 		MaxQueue:     *maxQueue,

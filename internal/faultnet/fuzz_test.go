@@ -1,0 +1,76 @@
+package faultnet
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSpec asserts ParseSpec never panics on arbitrary input, and
+// that for any input it accepts, String reaches a fixed point: the
+// rendered form must itself parse, and re-rendering must be byte-stable.
+// (Exact input round-trip is deliberately not the property — String
+// canonicalises, e.g. it omits disabled faults and ParseSpec applies the
+// stallfor default — but render→parse→render must converge immediately.)
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"seed=7,reset=262144,corrupt=1048576,partial=1,latency=200us,stall=500,stallfor=300ms",
+		"reset=40000,corrupt=60000,partial=true",
+		"stall=3",
+		"latency=1ms",
+		"seed=-9223372036854775808,reset=9223372036854775807",
+		"seed",
+		"seed=",
+		"seed=x",
+		"unknown=1",
+		"reset=1,,corrupt=2",
+		"latency=banana",
+		"=1",
+		"seed=1,seed=2",
+		" seed = 1 ",
+		"partial=maybe",
+		"stallfor=5s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return // rejected input: all we require is "error, not panic"
+		}
+		rendered := s.String()
+		s2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) ok but its String %q does not re-parse: %v", text, rendered, err)
+		}
+		if got := s2.String(); got != rendered {
+			t.Fatalf("String not a fixed point: %q -> %q -> %q", text, rendered, got)
+		}
+		if s.Enabled() != s2.Enabled() {
+			t.Fatalf("Enabled changed across render cycle for %q", text)
+		}
+	})
+}
+
+func TestParseSpecGarbageErrors(t *testing.T) {
+	for _, text := range []string{
+		"bogus=1", "seed", "seed=zzz", "latency=fast", "reset=1x",
+		"partial", "=", ",", "seed=1;reset=2",
+	} {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", text)
+		}
+	}
+}
+
+func TestParseSpecStallDefault(t *testing.T) {
+	s, err := ParseSpec("stall=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StallFor != 250*time.Millisecond {
+		t.Fatalf("stallfor default = %v, want 250ms", s.StallFor)
+	}
+}

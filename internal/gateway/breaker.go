@@ -1,0 +1,113 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// CircuitState is one backend's position in its circuit breaker:
+//
+//	closed    — healthy; sessions route to it.
+//	open      — failing; sessions skip it, probes wait out a backoff.
+//	half-open — the backoff elapsed; one probe is testing it. Sessions
+//	            still skip it until the probe closes the circuit.
+type CircuitState string
+
+const (
+	CircuitClosed   CircuitState = "closed"
+	CircuitOpen     CircuitState = "open"
+	CircuitHalfOpen CircuitState = "half-open"
+)
+
+// breaker is one backend's circuit breaker. Failures — a failed probe, a
+// failed dial, a mid-stream transport error on a relayed session — open
+// it immediately (a fleet must stop routing to a dead backend on the
+// first corpse it trips over, not after a quorum). While open, probes
+// are gated by an exponential backoff (base doubling to max); when one
+// is due the circuit moves to half-open, and only a successful probe
+// closes it again. Timestamps are passed in, never read from a clock, so
+// unit tests drive transitions deterministically.
+type breaker struct {
+	base, max time.Duration
+
+	mu        sync.Mutex
+	state     CircuitState
+	backoff   time.Duration // current open-state probe backoff
+	nextProbe time.Time     // when an open circuit next allows a probe
+	lastErr   string
+	opens     int64 // times the circuit opened (for stats)
+}
+
+// newBreaker returns a breaker in the given initial state. New backends
+// start open with an immediately-due probe ("warm in"): they take no
+// sessions until a probe has proven them, but the proof is not delayed.
+func newBreaker(base, max time.Duration, initial CircuitState, now time.Time) *breaker {
+	return &breaker{base: base, max: max, state: initial, backoff: base, nextProbe: now}
+}
+
+// healthy reports whether sessions may route to this backend.
+func (b *breaker) healthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == CircuitClosed
+}
+
+// current returns the state, last failure, and open count for stats.
+func (b *breaker) current() (CircuitState, string, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.lastErr, b.opens
+}
+
+// fail records a failure observed at now. From closed the circuit opens
+// at the base backoff; from half-open it re-opens with the backoff
+// doubled (capped at max) — the probe that just failed consumed the
+// previous one. A failure while already open (more sessions tripping
+// over the same corpse) refreshes the error but not the schedule, so
+// passive failures cannot starve the prober.
+func (b *breaker) fail(err error, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastErr = err.Error()
+	switch b.state {
+	case CircuitClosed:
+		b.state = CircuitOpen
+		b.backoff = b.base
+		b.nextProbe = now.Add(b.backoff)
+		b.opens++
+	case CircuitHalfOpen:
+		b.state = CircuitOpen
+		b.backoff = min(2*b.backoff, b.max)
+		b.nextProbe = now.Add(b.backoff)
+		b.opens++
+	}
+}
+
+// ok records a success (a probe, or a session completing cleanly),
+// closing the circuit from any state.
+func (b *breaker) ok() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = CircuitClosed
+	b.backoff = b.base
+	b.lastErr = ""
+}
+
+// probeDue reports whether the prober should test the backend at now,
+// moving an open circuit whose backoff elapsed to half-open. Closed
+// circuits probe on every tick (the periodic health check); half-open
+// ones re-probe freely (only the single prober goroutine asks).
+func (b *breaker) probeDue(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case CircuitOpen:
+		if now.Before(b.nextProbe) {
+			return false
+		}
+		b.state = CircuitHalfOpen
+		return true
+	default:
+		return true
+	}
+}

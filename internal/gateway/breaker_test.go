@@ -1,0 +1,125 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(100*time.Millisecond, 400*time.Millisecond, CircuitClosed, t0)
+	if !b.healthy() {
+		t.Fatal("new closed breaker not healthy")
+	}
+	if !b.probeDue(t0) {
+		t.Fatal("closed breaker must allow the periodic probe")
+	}
+
+	boom := errors.New("boom")
+	b.fail(boom, t0)
+	if b.healthy() {
+		t.Fatal("healthy after a failure")
+	}
+	if st, msg, opens := b.current(); st != CircuitOpen || msg != "boom" || opens != 1 {
+		t.Fatalf("after first failure: state=%v err=%q opens=%d", st, msg, opens)
+	}
+
+	// The open circuit gates probes behind the base backoff.
+	if b.probeDue(t0.Add(99 * time.Millisecond)) {
+		t.Fatal("probe allowed before the backoff elapsed")
+	}
+	t1 := t0.Add(100 * time.Millisecond)
+	if !b.probeDue(t1) {
+		t.Fatal("probe not allowed after the backoff elapsed")
+	}
+	if st, _, _ := b.current(); st != CircuitHalfOpen {
+		t.Fatalf("state after due probe: %v, want half-open", st)
+	}
+	if b.healthy() {
+		t.Fatal("half-open circuit must not take sessions")
+	}
+
+	// A failed probe re-opens with the backoff doubled.
+	b.fail(boom, t1)
+	if b.probeDue(t1.Add(199 * time.Millisecond)) {
+		t.Fatal("probe allowed before the doubled backoff elapsed")
+	}
+	t2 := t1.Add(200 * time.Millisecond)
+	if !b.probeDue(t2) {
+		t.Fatal("probe not allowed after the doubled backoff")
+	}
+
+	// Doubling caps at max: 100 → 200 → 400 → 400.
+	b.fail(boom, t2)
+	t3 := t2.Add(400 * time.Millisecond)
+	if !b.probeDue(t3) {
+		t.Fatal("probe not allowed after the capped backoff")
+	}
+	b.fail(boom, t3)
+	if b.probeDue(t3.Add(399 * time.Millisecond)) {
+		t.Fatal("backoff exceeded its cap")
+	}
+	if !b.probeDue(t3.Add(400 * time.Millisecond)) {
+		t.Fatal("probe not allowed after the capped backoff")
+	}
+	if _, _, opens := b.current(); opens != 4 {
+		t.Fatalf("opens = %d, want 4", opens)
+	}
+}
+
+func TestBreakerPassiveFailuresDoNotStarveProber(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(100*time.Millisecond, time.Second, CircuitClosed, t0)
+	b.fail(errors.New("first"), t0)
+	// A stampede of sessions tripping over the same corpse while the
+	// circuit is already open must not push the probe out.
+	for i := 0; i < 10; i++ {
+		b.fail(errors.New("pile-on"), t0.Add(90*time.Millisecond))
+	}
+	if _, _, opens := b.current(); opens != 1 {
+		t.Fatalf("opens = %d, want 1 (open-state failures are not re-opens)", opens)
+	}
+	if !b.probeDue(t0.Add(100 * time.Millisecond)) {
+		t.Fatal("passive failures delayed the probe schedule")
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(100*time.Millisecond, time.Second, CircuitClosed, t0)
+	b.fail(errors.New("boom"), t0)
+	t1 := t0.Add(100 * time.Millisecond)
+	b.probeDue(t1) // → half-open
+	b.fail(errors.New("boom"), t1)
+	t2 := t1.Add(200 * time.Millisecond)
+	b.probeDue(t2) // → half-open
+
+	b.ok()
+	if !b.healthy() {
+		t.Fatal("not healthy after a successful probe")
+	}
+	if st, msg, _ := b.current(); st != CircuitClosed || msg != "" {
+		t.Fatalf("after ok: state=%v err=%q", st, msg)
+	}
+	// The backoff reset with the close: the next failure starts over at base.
+	b.fail(errors.New("boom"), t2)
+	if !b.probeDue(t2.Add(100 * time.Millisecond)) {
+		t.Fatal("backoff did not reset to base after a close")
+	}
+}
+
+func TestBreakerWarmIn(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(100*time.Millisecond, time.Second, CircuitOpen, t0)
+	if b.healthy() {
+		t.Fatal("a warming-in backend must not take sessions before its probe")
+	}
+	if !b.probeDue(t0) {
+		t.Fatal("warm-in probe must be due immediately")
+	}
+	b.ok()
+	if !b.healthy() {
+		t.Fatal("not healthy after the warm-in probe")
+	}
+}

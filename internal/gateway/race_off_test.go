@@ -1,0 +1,8 @@
+//go:build !race
+
+package gateway_test
+
+// raceEnabled reports whether the race detector is compiled into this
+// test binary; the fleet end-to-end chaos test builds the daemon,
+// gateway, and load-generator binaries with the same instrumentation.
+const raceEnabled = false

@@ -74,6 +74,18 @@ type ResumeRequest struct {
 type Request struct {
 	// Label names the session in the server's stats (e.g. "oltp/multi").
 	Label string `json:"label,omitempty"`
+	// Probe, when true, turns the exchange into a health check: the server
+	// answers immediately with its Stats snapshot in the response line (no
+	// analyzer slot is taken, no stream follows, and the probe is not
+	// counted as a session). This is what a gateway's health checker and
+	// fleet-stats aggregation speak — one round trip on the ingest port
+	// proves the whole accept→negotiate→respond path, not just that a
+	// stats HTTP listener is alive.
+	Probe bool `json:"probe,omitempty"`
+	// Via names the tier that forwarded this session (e.g. a tsgate
+	// instance), surfaced per session in the server's stats so a fleet
+	// operator can tell relayed sessions from direct ones.
+	Via string `json:"via,omitempty"`
 	// Analysis tunes the per-session incremental analysis; the zero value
 	// matches tempstream defaults. The server clamps MaxMisses to its
 	// configured ceiling, so a client cannot demand unbounded memory.
@@ -100,6 +112,8 @@ type Response struct {
 	// RetryAfterMS hints how long a shed client should back off before
 	// retrying (busy/draining failures).
 	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+	// Stats answers a probe request (Request.Probe); nil otherwise.
+	Stats *Stats `json:"stats,omitempty"`
 }
 
 // Hello is the server's first line on a resumable session, sent once the

@@ -69,6 +69,9 @@ const (
 
 // Config tunes a Server.
 type Config struct {
+	// Name identifies this backend in its Stats snapshot (and so in a
+	// gateway's fleet view). Optional; defaults to empty.
+	Name string
 	// MaxSessions bounds how many sessions are concurrently bound to
 	// analyzers; further sessions queue (the protocol's backpressure
 	// reaches their producers through the unread socket). 0 means 16.
@@ -240,6 +243,7 @@ type Server struct {
 type session struct {
 	id      uint64
 	label   string
+	via     string
 	remote  string
 	conn    net.Conn
 	started time.Time
@@ -556,7 +560,13 @@ func (s *Server) handle(conn net.Conn) {
 
 	ic := &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout, cancel: cancel}
 	cw := &ctlWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: s.cfg.IdleTimeout}
-	res, fail := s.runSession(ctx, sess, ic, cw)
+	res, probe, fail := s.runSession(ctx, sess, ic, cw)
+	if probe != nil {
+		// A health probe, not a session: its row and count were already
+		// retired in runSession; just deliver the snapshot.
+		cw.writeLine(Response{Stats: probe})
+		return
+	}
 	if fail != nil && ic.teardown {
 		// A read error caused by our own teardown is better reported as
 		// the cancellation cause (idle timeout, draining) than as "use of
@@ -613,32 +623,45 @@ func (s *Server) handle(conn net.Conn) {
 // and — if the stream dies at a clean frame boundary — parks the
 // analyzer state under the token for Config.ResumeGrace so the client
 // can reconnect and continue the same incremental analysis.
-func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw *ctlWriter) (*SessionResult, *sessionFailure) {
+func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw *ctlWriter) (*SessionResult, *Stats, *sessionFailure) {
 	br := bufio.NewReaderSize(ic, 64<<10)
 
 	// Negotiation: one JSON line.
 	line, err := readLine(br, requestLimit)
 	if err != nil {
 		if errors.Is(err, errRequestTooLarge) {
-			return nil, &sessionFailure{code: CodeTooLarge, err: err}
+			return nil, nil, &sessionFailure{code: CodeTooLarge, err: err}
 		}
-		return nil, failf(CodeBadRequest, "reading request: %v", err)
+		return nil, nil, failf(CodeBadRequest, "reading request: %v", err)
 	}
 	var req Request
 	if err := json.Unmarshal(line, &req); err != nil {
-		return nil, failf(CodeBadRequest, "parsing request: %v", err)
+		return nil, nil, failf(CodeBadRequest, "parsing request: %v", err)
+	}
+	if req.Probe {
+		// A health probe: retire the registration (probes are not
+		// sessions — they must not skew the totals a fleet aggregates),
+		// then snapshot. The snapshot is taken after the row is gone so the
+		// prober never sees its own probe as an active session.
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		s.totalSessions.Add(-1)
+		st := s.Stats()
+		return nil, &st, nil
 	}
 	// The session is already visible to Stats, so the label lands under
 	// the same lock Stats reads with.
 	s.mu.Lock()
 	sess.label = req.Label
+	sess.via = req.Via
 	s.mu.Unlock()
 
 	resumable := req.Resume != nil
 	var parked *parkedSession
 	if resumable && req.Resume.Token != "" {
 		if parked = s.takeParked(req.Resume.Token); parked == nil {
-			return nil, failf(CodeResumeUnknown, "resume token unknown or expired (grace window %v)", s.cfg.ResumeGrace)
+			return nil, nil, failf(CodeResumeUnknown, "resume token unknown or expired (grace window %v)", s.cfg.ResumeGrace)
 		}
 		s.mu.Lock()
 		sess.label = parked.label
@@ -650,14 +673,14 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 			cw.writeLine(Hello{Token: parked.token, NextFrame: parked.frames, Done: true})
 			done := parked.done
 			s.park(parked)
-			return done, nil
+			return done, nil, nil
 		}
 		s.totalResumed.Add(1)
 	}
 
 	if parked == nil {
 		if req.Analysis.MaxMisses < 0 {
-			return nil, failf(CodeBadRequest, "analysis window %d is negative", req.Analysis.MaxMisses)
+			return nil, nil, failf(CodeBadRequest, "analysis window %d is negative", req.Analysis.MaxMisses)
 		}
 		if req.Analysis.MaxMisses == 0 || req.Analysis.MaxMisses > s.cfg.MaxWindow {
 			req.Analysis.MaxMisses = s.cfg.MaxWindow
@@ -665,7 +688,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 		if pf := req.Prefetch; pf != nil {
 			if pf.HistoryLen < 1 || pf.HistoryLen > MaxPrefetchHistory ||
 				pf.BufferBlocks < 1 || pf.BufferBlocks > MaxPrefetchBuffer {
-				return nil, failf(CodeBadRequest, "prefetch config must be bounded: history_len in [1,%d], buffer_blocks in [1,%d]",
+				return nil, nil, failf(CodeBadRequest, "prefetch config must be bounded: history_len in [1,%d], buffer_blocks in [1,%d]",
 					MaxPrefetchHistory, MaxPrefetchBuffer)
 			}
 		}
@@ -681,7 +704,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 		if parked != nil {
 			s.park(parked)
 		}
-		return nil, &sessionFailure{
+		return nil, nil, &sessionFailure{
 			code:       CodeBusy,
 			retryAfter: s.cfg.RetryHint,
 			err:        fmt.Errorf("server busy: queue full (%d sessions waiting)", s.cfg.MaxQueue),
@@ -710,15 +733,15 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 		switch {
 		case errors.Is(cause, errSlotWait):
 			s.totalShed.Add(1)
-			return nil, &sessionFailure{
+			return nil, nil, &sessionFailure{
 				code:       CodeBusy,
 				retryAfter: s.cfg.RetryHint,
 				err:        fmt.Errorf("server busy: no session slot within %v", s.cfg.QueueTimeout),
 			}
 		case errors.Is(cause, errDraining):
-			return nil, &sessionFailure{code: CodeDraining, retryAfter: s.cfg.RetryHint, err: cause}
+			return nil, nil, &sessionFailure{code: CodeDraining, retryAfter: s.cfg.RetryHint, err: cause}
 		default:
-			return nil, &sessionFailure{code: CodeStream, err: cause}
+			return nil, nil, &sessionFailure{code: CodeStream, err: cause}
 		}
 	}
 	defer func() { <-s.slots }()
@@ -743,7 +766,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 			if parked != nil {
 				s.park(parked)
 			}
-			return nil, &sessionFailure{code: CodeStream, err: fmt.Errorf("writing hello: %w", err), parked: parked != nil}
+			return nil, nil, &sessionFailure{code: CodeStream, err: fmt.Errorf("writing hello: %w", err), parked: parked != nil}
 		}
 		dec.SetFrameHook(func(frames, records int64) error {
 			return cw.writeLine(Ack{Ack: frames})
@@ -754,20 +777,20 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 	if err != nil {
 		if parked != nil {
 			s.park(parked)
-			return nil, &sessionFailure{code: CodeStream, err: err, parked: true}
+			return nil, nil, &sessionFailure{code: CodeStream, err: err, parked: true}
 		}
-		return nil, &sessionFailure{code: CodeStream, err: err}
+		return nil, nil, &sessionFailure{code: CodeStream, err: err}
 	}
 
 	var ts *tempstream.Session
 	if parked != nil {
 		if meta.CPUs != parked.cpus {
 			parked.ts.Close()
-			return nil, failf(CodeBadRequest, "resumed stream declares %d cpus, session was %d", meta.CPUs, parked.cpus)
+			return nil, nil, failf(CodeBadRequest, "resumed stream declares %d cpus, session was %d", meta.CPUs, parked.cpus)
 		}
 		if err := dec.SetProgress(parked.chain, parked.frames, parked.records); err != nil {
 			parked.ts.Close()
-			return nil, failf(CodeBadRequest, "restoring resume progress: %v", err)
+			return nil, nil, failf(CodeBadRequest, "restoring resume progress: %v", err)
 		}
 		ts = parked.ts
 		sess.records.Store(parked.records)
@@ -777,7 +800,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 		// checkable only now that the wire header has declared the CPU count.
 		if pf := req.Prefetch; pf != nil && pf.PerCPU {
 			if pf.HistoryLen*meta.CPUs > MaxPrefetchHistory || pf.BufferBlocks*meta.CPUs > MaxPrefetchBuffer {
-				return nil, failf(CodeBadRequest, "per-cpu prefetch config exceeds ceilings at %d cpus: history_len*cpus <= %d, buffer_blocks*cpus <= %d",
+				return nil, nil, failf(CodeBadRequest, "per-cpu prefetch config exceeds ceilings at %d cpus: history_len*cpus <= %d, buffer_blocks*cpus <= %d",
 					meta.CPUs, MaxPrefetchHistory, MaxPrefetchBuffer)
 			}
 		}
@@ -803,10 +826,10 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 				frames:  frames,
 				records: records,
 			})
-			return nil, &sessionFailure{code: CodeStream, err: err, parked: true}
+			return nil, nil, &sessionFailure{code: CodeStream, err: err, parked: true}
 		}
 		ts.Close()
-		return nil, &sessionFailure{code: CodeStream, err: err}
+		return nil, nil, &sessionFailure{code: CodeStream, err: err}
 	}
 	s.totalRecords.Add(sess.records.Load())
 	res := ResultOf(ts.Result(nil))
@@ -817,7 +840,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 		_, frames, _ := dec.Progress()
 		s.park(&parkedSession{token: token, label: sess.label, frames: frames, done: res})
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // readLine reads one \n-terminated line of at most limit bytes without
@@ -841,6 +864,7 @@ func readLine(br *bufio.Reader, limit int) ([]byte, error) {
 type SessionStats struct {
 	ID            uint64  `json:"id"`
 	Label         string  `json:"label,omitempty"`
+	Via           string  `json:"via,omitempty"` // forwarding tier, if relayed
 	Remote        string  `json:"remote"`
 	State         string  `json:"state"`
 	Records       int64   `json:"records"`
@@ -852,6 +876,7 @@ type SessionStats struct {
 
 // Stats is a point-in-time snapshot of the server.
 type Stats struct {
+	Name             string         `json:"name,omitempty"` // Config.Name
 	UptimeSeconds    float64        `json:"uptime_seconds"`
 	MaxSessions      int            `json:"max_sessions"`
 	ActiveSessions   int            `json:"active_sessions"`
@@ -873,6 +898,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	now := time.Now()
 	st := Stats{
+		Name:            s.cfg.Name,
 		UptimeSeconds:   now.Sub(s.start).Seconds(),
 		MaxSessions:     s.cfg.MaxSessions,
 		TotalSessions:   s.totalSessions.Load(),
@@ -902,6 +928,7 @@ func (s *Server) Stats() Stats {
 		row := SessionStats{
 			ID:      sess.id,
 			Label:   sess.label,
+			Via:     sess.via,
 			Remote:  sess.remote,
 			State:   state,
 			Records: sess.records.Load(),

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Raw frame access for relays. A gateway routing sessions across backends
+// does not decode records — it forwards frames verbatim — but it must
+// still find frame boundaries (so a failover can replay from an exact
+// frame) and verify each frame's CRC (so corruption on the client leg is
+// caught at the gateway and never charged to a healthy backend). These
+// helpers expose exactly that: one frame at a time, bytes untouched,
+// integrity checked.
+
+// Exported frame kinds, as returned by ReadRawFrame.
+const (
+	KindHeader  byte = kindHeader
+	KindData    byte = kindData
+	KindTrailer byte = kindTrailer
+)
+
+// MagicBytes returns the stream magic as a fresh slice (for relays that
+// replay a stream prefix verbatim).
+func MagicBytes() []byte {
+	m := magic
+	return m[:]
+}
+
+// ReadMagic consumes and verifies the 4-byte stream magic. Errors wrap
+// ErrTruncated or ErrCorrupt exactly as the Decoder's do; a clean EOF
+// before any byte is returned as io.EOF.
+func ReadMagic(r io.Reader) error {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: reading magic: %v: %w", err, ErrTruncated)
+	}
+	if m != magic {
+		return fmt.Errorf("wire: bad magic %q: %w", m[:], ErrCorrupt)
+	}
+	return nil
+}
+
+// ReadRawFrame reads one whole frame — kind byte, length uvarint, payload,
+// CRC — verifying the CRC, and returns the frame's kind plus its raw bytes
+// (the complete frame, suitable for verbatim relay or replay). buf is
+// reused when large enough; the returned slice aliases it, so callers
+// keeping a frame must copy. A clean EOF at a frame boundary is io.EOF;
+// every other error wraps ErrTruncated (bytes stopped) or ErrCorrupt
+// (bytes are wrong), matching the Decoder's classification.
+func ReadRawFrame(br *bufio.Reader, buf []byte) (byte, []byte, error) {
+	kind, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame kind: %v: %w", err, ErrTruncated)
+	}
+	buf = append(buf[:0], kind)
+	// Capture the length uvarint byte for byte: the raw frame must be
+	// relayable verbatim. maxFramePayload fits in 28 bits, so any uvarint
+	// needing a fifth byte already exceeds the bound.
+	var size uint64
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: frame %c length: %v: %w", kind, noEOF(err), ErrTruncated)
+		}
+		buf = append(buf, b)
+		size |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, nil, fmt.Errorf("wire: frame %c length overflows: %w", kind, ErrCorrupt)
+		}
+	}
+	if size > maxFramePayload {
+		return 0, nil, fmt.Errorf("wire: frame %c payload %d exceeds limit: %w", kind, size, ErrCorrupt)
+	}
+	start := len(buf)
+	need := start + int(size) + 4
+	if cap(buf) < need {
+		grown := make([]byte, need)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:need]
+	}
+	if _, err := io.ReadFull(br, buf[start:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: frame %c payload: %v: %w", kind, noEOF(err), ErrTruncated)
+	}
+	payload := buf[start : len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return 0, nil, fmt.Errorf("wire: frame %c crc mismatch: %w", kind, ErrCorrupt)
+	}
+	return kind, buf, nil
+}
