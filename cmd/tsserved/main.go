@@ -61,6 +61,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between a connection's reads before it is dropped (0 = 2m)")
 	resumeGrace := flag.Duration("resume-grace", 0, "how long an interrupted resumable session's state is parked for resumption (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	shardSessions := flag.Bool("shard-sessions", false, "fan each session's analysis consumers across goroutines per decoded chunk (identical results; useful with spare cores)")
 	chaos := flag.String("chaos", "", "deterministic fault-injection spec for accepted connections, e.g. seed=7,reset=262144,partial=1 (testing only)")
 	flag.Parse()
 
@@ -87,13 +88,14 @@ func main() {
 		fatal(err)
 	}
 	srv := server.NewServer(faultnet.Wrap(ln, spec), server.Config{
-		Name:         *name,
-		MaxSessions:  *maxSessions,
-		MaxWindow:    *maxWindow,
-		MaxQueue:     *maxQueue,
-		QueueTimeout: *queueTimeout,
-		IdleTimeout:  *idleTimeout,
-		ResumeGrace:  *resumeGrace,
+		Name:          *name,
+		MaxSessions:   *maxSessions,
+		MaxWindow:     *maxWindow,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		IdleTimeout:   *idleTimeout,
+		ResumeGrace:   *resumeGrace,
+		ShardSessions: *shardSessions,
 	})
 	fmt.Printf("tsserved: listening on %s (max-sessions=%d)\n", srv.Addr(), *maxSessions)
 	if spec.Enabled() {

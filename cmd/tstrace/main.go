@@ -74,6 +74,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	stream := flag.Bool("stream", false, "streaming mode: print per-window stream fractions as the simulation runs")
 	window := flag.Int("window", 5000, "misses per analysis window in -stream mode")
+	pipeline := flag.Int("pipeline", 0, "in -stream mode, decouple simulation from analysis over an SPSC ring this many chunks deep (0 = serial; results are identical either way)")
 	record := flag.String("record", "", "write the selected miss stream to this wire-format archive instead of dumping text")
 	replay := flag.String("replay", "", "read the miss stream from this wire-format archive instead of simulating")
 	flag.Parse()
@@ -150,7 +151,7 @@ func main() {
 		if len(machines) != 1 {
 			fatal(fmt.Errorf("-stream requires a single machine (-machine multi or single)"))
 		}
-		if err := streamRun(ctx, app, machines[0], scale, *seed, *target, *window, *intra); err != nil {
+		if err := streamRun(ctx, app, machines[0], scale, *seed, *target, *window, *pipeline, *intra); err != nil {
 			interrupted()
 		}
 		return
@@ -330,15 +331,22 @@ func (s *windowSink) Finish(h trace.Header) {
 }
 
 // streamRun drives one configuration through the streaming data path.
-// On cancellation the already-printed windows stand (they were live
-// output) and the error is returned.
+// With pipeline > 0 the window analysis runs on its own goroutine
+// behind an SPSC ring, overlapping the simulator; the printed windows
+// are identical either way. On cancellation the already-printed windows
+// stand (they were live output) and the error is returned.
 func streamRun(ctx context.Context, app workload.App, machine workload.MachineKind, scale workload.Scale,
-	seed int64, target, window int, intra bool) error {
+	seed int64, target, window, pipeline int, intra bool) error {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintf(w, "# app=%v machine=%v scale=%v target=%d window=%d stream=%s\n",
-		app, machine, scale, target, window, map[bool]string{false: "off-chip", true: "intra-chip"}[intra])
-	sink := &windowSink{w: w, an: core.NewAnalyzer(), cpus: machine.CPUCount(), window: window}
+	fmt.Fprintf(w, "# app=%v machine=%v scale=%v target=%d window=%d stream=%s pipeline=%d\n",
+		app, machine, scale, target, window, map[bool]string{false: "off-chip", true: "intra-chip"}[intra], pipeline)
+	var sink trace.Sink = &windowSink{w: w, an: core.NewAnalyzer(), cpus: machine.CPUCount(), window: window}
+	if pipeline > 0 {
+		p := trace.NewPipelined(sink, pipeline)
+		defer p.Close()
+		sink = p
+	}
 	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
 	var err error
 	if intra {

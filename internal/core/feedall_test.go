@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/sinktest"
+)
+
+// runSplit drives ms into a fresh incremental analysis as FeedAll
+// batches cut at the given boundaries (splits are record indices;
+// consecutive equal indices produce empty batches, which must be
+// no-ops) and returns the finished analysis.
+func runSplit(cpus int, opts Options, ms []trace.Miss, splits []int) *Analysis {
+	an := NewAnalyzer()
+	an.Begin(cpus, opts)
+	prev := 0
+	for _, s := range splits {
+		an.FeedAll(ms[prev:s])
+		prev = s
+	}
+	an.FeedAll(ms[prev:])
+	return an.Finish()
+}
+
+// checkAnalysisEqual compares every externally-observable field of two
+// analyses of the same stream.
+func checkAnalysisEqual(t *testing.T, label string, got, want *Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Misses, want.Misses) {
+		t.Errorf("%s: windows differ (%d vs %d misses)", label, len(got.Misses), len(want.Misses))
+	}
+	if !reflect.DeepEqual(got.Strided, want.Strided) {
+		t.Errorf("%s: stride flags differ", label)
+	}
+	if !reflect.DeepEqual(got.State, want.State) {
+		t.Errorf("%s: stream states differ", label)
+	}
+	if !reflect.DeepEqual(got.Instances, want.Instances) {
+		t.Errorf("%s: instances differ", label)
+	}
+	if !reflect.DeepEqual(got.ReuseDist.Buckets(), want.ReuseDist.Buckets()) {
+		t.Errorf("%s: reuse histograms differ", label)
+	}
+	if got.GrammarRules() != want.GrammarRules() {
+		t.Errorf("%s: grammar rules %d vs %d", label, got.GrammarRules(), want.GrammarRules())
+	}
+}
+
+// TestFeedAllSplitInvariance is the chunk-boundary property test: an
+// incremental analysis must be invariant to how the stream is cut into
+// FeedAll batches — per-record Feed, one whole-stream batch, and many
+// random splits (including empty batches and batches straddling the
+// window cap) all produce the same Analysis. This is the property the
+// streaming Session, the pipeline's chunking, and the wire decoder's
+// frame batching all lean on.
+func TestFeedAllSplitInvariance(t *testing.T) {
+	const cpus = 4
+	const n = 20000
+	ms := sinktest.Misses(n, cpus)
+
+	for _, opts := range []Options{
+		{},                                     // default window: the whole stream fits
+		{MaxMisses: n / 3},                     // cap mid-stream: batches straddle Full()
+		{MaxMisses: n / 3, ReuseTruncate: 100}, // and with reuse truncation in play
+	} {
+		// Reference: strict per-record Feed.
+		ref := NewAnalyzer()
+		ref.Begin(cpus, opts)
+		for _, m := range ms {
+			ref.Feed(m)
+		}
+		want := ref.Finish()
+
+		checkAnalysisEqual(t, "one-batch", runSplit(cpus, opts, ms, nil), want)
+
+		rng := rand.New(rand.NewSource(0x5eed))
+		for round := 0; round < 8; round++ {
+			nsplits := rng.Intn(40)
+			splits := make([]int, nsplits)
+			for i := range splits {
+				splits[i] = rng.Intn(n + 1)
+			}
+			// Sorted boundaries; duplicates yield empty batches.
+			for i := 1; i < len(splits); i++ {
+				for j := i; j > 0 && splits[j] < splits[j-1]; j-- {
+					splits[j], splits[j-1] = splits[j-1], splits[j]
+				}
+			}
+			checkAnalysisEqual(t, "random-split", runSplit(cpus, opts, ms, splits), want)
+		}
+	}
+}

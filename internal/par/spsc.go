@@ -1,0 +1,118 @@
+package par
+
+import (
+	"sync/atomic"
+)
+
+// SPSC is a bounded single-producer single-consumer ring. One goroutine
+// calls Push (and eventually Close); exactly one other calls Pop. The
+// fast path — ring neither full nor empty — is lock-free: a slot store
+// or load plus two atomic counter operations, no mutex and no channel.
+// Only when the ring is actually full (producer) or empty (consumer)
+// does a side park on a capacity-1 wakeup channel; the peer's next
+// counter advance posts the token that unparks it, so a stalled side
+// costs a blocked goroutine, not a spinning core.
+//
+// The streaming pipeline uses an SPSC of record chunks to decouple a
+// simulator (producer) from its analysis session (consumer): the bound
+// is the pipeline depth, so producer memory stays O(depth·chunk) and
+// backpressure reaches the simulator as a Push that waits.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head is the consumer cursor, tail the producer cursor; only their
+	// owner advances them, the peer only loads. tail-head is the queue
+	// length, valid because both are monotone.
+	head   atomic.Uint64
+	tail   atomic.Uint64
+	closed atomic.Bool
+
+	// prodWake (consumer → producer: "a slot freed") and consWake
+	// (producer → consumer: "an item landed") hold at most one token
+	// each; a dropped send means a token is already pending, so a parked
+	// peer still wakes.
+	prodWake chan struct{}
+	consWake chan struct{}
+}
+
+// NewSPSC returns a ring holding at most capacity items (rounded up to a
+// power of two; capacity < 1 selects 1).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{
+		buf:      make([]T, n),
+		mask:     uint64(n - 1),
+		prodWake: make(chan struct{}, 1),
+		consWake: make(chan struct{}, 1),
+	}
+}
+
+// Cap returns the ring's bound.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// signal posts a wakeup token without blocking; if one is already
+// pending the send is dropped, which is equivalent.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Push enqueues v, waiting while the ring is full. It reports false
+// (dropping v) once the ring has been closed. Producer-side only.
+func (q *SPSC[T]) Push(v T) bool {
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		t := q.tail.Load()
+		if t-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[t&q.mask] = v
+			q.tail.Store(t + 1)
+			signal(q.consWake)
+			return true
+		}
+		// Full: park until the consumer frees a slot (or Close posts the
+		// token). The re-check loop makes a stale token harmless.
+		<-q.prodWake
+	}
+}
+
+// Pop dequeues the next item, waiting while the ring is empty. It
+// reports false only once the ring is closed AND drained — items pushed
+// before Close are always delivered. Consumer-side only.
+func (q *SPSC[T]) Pop() (T, bool) {
+	for {
+		h := q.head.Load()
+		if q.tail.Load() > h {
+			i := h & q.mask
+			v := q.buf[i]
+			var zero T
+			q.buf[i] = zero // release the slot's reference for GC
+			q.head.Store(h + 1)
+			signal(q.prodWake)
+			return v, true
+		}
+		if q.closed.Load() {
+			var zero T
+			return zero, false
+		}
+		<-q.consWake
+	}
+}
+
+// Close marks the ring closed and wakes both sides: a parked Push
+// returns false, a parked Pop drains the remaining items and then
+// returns false. Close is idempotent and may be called from either
+// side (or a third goroutine tearing the pipeline down).
+func (q *SPSC[T]) Close() {
+	if q.closed.CompareAndSwap(false, true) {
+		signal(q.prodWake)
+		signal(q.consWake)
+	}
+}

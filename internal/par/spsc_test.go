@@ -1,0 +1,148 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSPSCOrderedTransfer pushes a long sequence through a small ring
+// from one goroutine while another pops, checking every value arrives
+// exactly once in order (the ring wraps many times, so the head/tail
+// masking and both park/unpark paths are exercised; run under -race
+// this is the memory-ordering check for the cursor handoff).
+func TestSPSCOrderedTransfer(t *testing.T) {
+	const n = 200000
+	q := NewSPSC[int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if !q.Push(i) {
+				t.Errorf("Push(%d) = false before Close", i)
+				return
+			}
+		}
+		q.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop #%d: ring reported closed early", i)
+		}
+		if v != i {
+			t.Fatalf("Pop #%d = %d, want %d", i, v, i)
+		}
+	}
+	if v, ok := q.Pop(); ok {
+		t.Fatalf("Pop after drain = (%d, true), want closed", v)
+	}
+	wg.Wait()
+}
+
+// TestSPSCCapacityRounding checks the power-of-two rounding and the
+// minimum bound.
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16},
+	} {
+		if got := NewSPSC[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSPSCBackpressure fills the ring with no consumer and checks the
+// producer actually blocks (bounded memory), then resumes when a slot
+// frees.
+func TestSPSCBackpressure(t *testing.T) {
+	q := NewSPSC[int](4)
+	for i := 0; i < q.Cap(); i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) = false on open ring", i)
+		}
+	}
+	blocked := make(chan struct{})
+	go func() {
+		q.Push(99) // must park: ring is full
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("Push returned on a full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := q.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = (%d, %v), want (0, true)", v, ok)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Push still parked after a slot freed")
+	}
+}
+
+// TestSPSCCloseDrains checks items pushed before Close are all
+// delivered, and only then does Pop report closed.
+func TestSPSCCloseDrains(t *testing.T) {
+	q := NewSPSC[int](8)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Close()
+	if q.Push(100) {
+		t.Fatal("Push after Close = true")
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on drained closed ring = true")
+	}
+	q.Close() // idempotent
+}
+
+// TestSPSCCloseUnblocksPop checks a consumer parked on an empty ring is
+// released by Close from another goroutine.
+func TestSPSCCloseUnblocksPop(t *testing.T) {
+	q := NewSPSC[int](4)
+	done := make(chan struct{})
+	go func() {
+		if _, ok := q.Pop(); ok {
+			t.Error("Pop on empty closed ring = true")
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop still parked after Close")
+	}
+}
+
+// TestSPSCCloseUnblocksPush checks a producer parked on a full ring is
+// released (with false) by Close from another goroutine.
+func TestSPSCCloseUnblocksPush(t *testing.T) {
+	q := NewSPSC[int](1)
+	q.Push(0)
+	done := make(chan struct{})
+	go func() {
+		if q.Push(1) {
+			t.Error("Push on full ring returned true after Close")
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Push still parked after Close")
+	}
+}

@@ -52,8 +52,13 @@ func BenchmarkIngestServer(b *testing.B) {
 					b.Errorf("dial: %v", err)
 					return
 				}
-				for _, m := range streams[c] {
-					cs.Append(m)
+				// Frame-sized batches: the fused ingest shape, paying sink
+				// dispatch once per wire frame on the client exactly as the
+				// server's decoder does per decoded frame.
+				for ms := streams[c]; len(ms) > 0; {
+					n := min(4096, len(ms))
+					cs.AppendBatch(ms[:n])
+					ms = ms[n:]
 				}
 				cs.Finish(trace.Header{Misses: nRecords, Instructions: nRecords * 100, CPUs: 4})
 				if _, err := cs.Result(); err != nil {

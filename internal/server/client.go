@@ -120,6 +120,10 @@ func (c *ClientSession) SetTimeouts(read, write time.Duration) {
 // Append implements trace.Sink.
 func (c *ClientSession) Append(m trace.Miss) { c.enc.Append(m) }
 
+// AppendBatch implements trace.BatchSink, forwarding straight to the
+// encoder's batch path.
+func (c *ClientSession) AppendBatch(ms []trace.Miss) { c.enc.AppendBatch(ms) }
+
 // Finish implements trace.Sink.
 func (c *ClientSession) Finish(h trace.Header) { c.enc.Finish(h) }
 

@@ -111,6 +111,12 @@ type Config struct {
 	// RetryHint is the backoff hint (retry_after_ms) attached to busy
 	// and draining responses. 0 means 500ms.
 	RetryHint time.Duration
+	// ShardSessions fans each analysis session's independent consumers
+	// (analyzer feed and prefetcher evaluation) across goroutines per
+	// decoded chunk (tempstream.StreamOptions.ShardConsumers). Results
+	// are byte-identical; worth enabling when the daemon has cores to
+	// spare beyond its session concurrency. Off by default.
+	ShardSessions bool
 }
 
 func (c Config) withDefaults() Config {
@@ -507,7 +513,18 @@ func (c *countingSink) Append(m trace.Miss) {
 	c.n.Add(1)
 	c.inner.Append(m)
 }
+
+// AppendBatch implements trace.BatchSink: one count update and one
+// dispatch per decoded frame, keeping the decoder's batch delivery
+// intact on its way into the session.
+func (c *countingSink) AppendBatch(ms []trace.Miss) {
+	c.n.Add(int64(len(ms)))
+	trace.AppendAll(c.inner, ms)
+}
+
 func (c *countingSink) Finish(h trace.Header) { c.inner.Finish(h) }
+
+var _ trace.BatchSink = (*countingSink)(nil)
 
 // register adds a session to the stats table, pruning stale finished
 // entries so the table stays bounded even if nobody scrapes stats.
@@ -805,8 +822,9 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 			}
 		}
 		ts = tempstream.NewSession(meta.CPUs, 0, tempstream.StreamOptions{
-			Analysis: req.Analysis,
-			Prefetch: req.Prefetch,
+			Analysis:       req.Analysis,
+			Prefetch:       req.Prefetch,
+			ShardConsumers: s.cfg.ShardSessions,
 		})
 	}
 

@@ -18,7 +18,7 @@ func TestSessionSinkConformance(t *testing.T) {
 	const cpus = 4
 	var n atomic.Int64
 	var sess *tempstream.Session
-	sinktest.Run(t, "server.sessionSink", 20000, cpus, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+	factory := func() (trace.Sink, func() (sinktest.Observed, bool)) {
 		n.Store(0)
 		sess = tempstream.NewSession(cpus, 0, tempstream.StreamOptions{KeepTraces: true})
 		return &countingSink{inner: sess, n: &n}, func() (sinktest.Observed, bool) {
@@ -31,5 +31,9 @@ func TestSessionSinkConformance(t *testing.T) {
 				Finishes: []trace.Header{cr.Header},
 			}, true
 		}
-	})
+	}
+	sinktest.Run(t, "server.sessionSink", 20000, cpus, factory)
+	// The decoder delivers whole frames through AppendBatch; the counting
+	// wrapper must count batches exactly as it counts records.
+	sinktest.RunBatch(t, "server.sessionSink", 20000, cpus, factory)
 }

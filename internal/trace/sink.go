@@ -36,9 +36,45 @@ type Sink interface {
 	Finish(h Header)
 }
 
+// BatchSink is the bulk fast path a Sink may additionally implement:
+// AppendBatch consumes a run of records in trace order, equivalent to
+// calling Append on each element but paying the interface dispatch (and
+// any per-call bookkeeping) once per run instead of once per record.
+// The hot producers — the wire decoder delivering a decoded frame, the
+// streaming pipeline delivering a chunk — hand over thousands of
+// records per call, so the batch path is where ingest throughput lives.
+//
+// The slice is only borrowed: the callee must not retain ms (or any
+// subslice) after returning, because callers reuse the backing array
+// for the next batch. An empty batch is a no-op. Interleaving Append
+// and AppendBatch calls is legal and means exactly the concatenated
+// record sequence.
+type BatchSink interface {
+	Sink
+	// AppendBatch consumes ms[0], ms[1], ... in order.
+	AppendBatch(ms []Miss)
+}
+
+// AppendAll delivers ms to s through its AppendBatch fast path when s
+// implements BatchSink, and record by record otherwise. Producers with
+// records already in hand should call this instead of looping over
+// Append themselves.
+func AppendAll(s Sink, ms []Miss) {
+	if b, ok := s.(BatchSink); ok {
+		b.AppendBatch(ms)
+		return
+	}
+	for _, m := range ms {
+		s.Append(m)
+	}
+}
+
 // Trace is the materializing Sink: Append collects records and Finish
 // folds the header into the Instructions/CPUs fields.
-var _ Sink = (*Trace)(nil)
+var _ BatchSink = (*Trace)(nil)
+
+// AppendBatch implements BatchSink: one bulk append per batch.
+func (t *Trace) AppendBatch(ms []Miss) { t.Misses = append(t.Misses, ms...) }
 
 // Finish implements Sink.
 func (t *Trace) Finish(h Header) {
@@ -57,6 +93,14 @@ func (t Tee) Append(m Miss) {
 	}
 }
 
+// AppendBatch implements BatchSink: each element gets the batch through
+// its own fastest path.
+func (t Tee) AppendBatch(ms []Miss) {
+	for _, s := range t {
+		AppendAll(s, ms)
+	}
+}
+
 // Finish implements Sink.
 func (t Tee) Finish(h Header) {
 	for _, s := range t {
@@ -71,5 +115,13 @@ type Discard struct{}
 // Append implements Sink.
 func (Discard) Append(Miss) {}
 
+// AppendBatch implements BatchSink.
+func (Discard) AppendBatch([]Miss) {}
+
 // Finish implements Sink.
 func (Discard) Finish(Header) {}
+
+var (
+	_ BatchSink = Tee(nil)
+	_ BatchSink = Discard{}
+)

@@ -90,6 +90,87 @@ func Run(t *testing.T, name string, n, cpus int, factory Factory) {
 	})
 }
 
+// RunBatch drives the conformance sequence through the BatchSink fast
+// path and checks it is observationally identical to the per-record
+// drive: batches are just runs of Appends, so ordering, content, and
+// exactly-one-Finish must all survive. Three drive shapes run:
+//
+//   - one-batch: the whole sequence in a single AppendBatch;
+//   - interleave: per-record Appends mixed with uneven batches and
+//     empty batches (legal no-ops) in between;
+//   - empty: an empty batch then Finish, the batch analogue of the
+//     empty stream.
+//
+// The factory's sink must implement trace.BatchSink; the drive copies
+// each batch into a scratch buffer that is clobbered afterwards, so a
+// sink that retains the borrowed slice fails loudly here.
+func RunBatch(t *testing.T, name string, n, cpus int, factory Factory) {
+	t.Helper()
+	misses := Misses(n, cpus)
+	h := Header(n, cpus)
+
+	// deliver hands sink a clobber-after-use copy of ms, enforcing the
+	// borrowed-slice half of the AppendBatch contract.
+	scratch := make([]trace.Miss, 0, n)
+	deliver := func(sink trace.BatchSink, ms []trace.Miss) {
+		scratch = append(scratch[:0], ms...)
+		sink.AppendBatch(scratch)
+		for i := range scratch {
+			scratch[i] = trace.Miss{Addr: ^uint64(0)}
+		}
+	}
+
+	asBatch := func(t *testing.T, s trace.Sink) trace.BatchSink {
+		t.Helper()
+		b, ok := s.(trace.BatchSink)
+		if !ok {
+			t.Fatalf("%T does not implement trace.BatchSink", s)
+		}
+		return b
+	}
+
+	t.Run(name+"/one-batch", func(t *testing.T) {
+		sink, observe := factory()
+		b := asBatch(t, sink)
+		deliver(b, misses)
+		b.Finish(h)
+		check(t, observe, misses, h)
+	})
+
+	t.Run(name+"/interleave", func(t *testing.T) {
+		sink, observe := factory()
+		b := asBatch(t, sink)
+		i := 0
+		step := 1
+		for i < len(misses) {
+			switch step % 4 {
+			case 0:
+				b.AppendBatch(nil) // empty batch: a no-op
+			case 1:
+				b.Append(misses[i])
+				i++
+			default:
+				// Uneven batch sizes so batch edges drift against any
+				// internal chunking the sink does.
+				end := min(i+step*7+3, len(misses))
+				deliver(b, misses[i:end])
+				i = end
+			}
+			step++
+		}
+		b.Finish(h)
+		check(t, observe, misses, h)
+	})
+
+	t.Run(name+"/empty", func(t *testing.T) {
+		sink, observe := factory()
+		b := asBatch(t, sink)
+		b.AppendBatch(nil)
+		b.Finish(Header(0, cpus))
+		check(t, observe, nil, Header(0, cpus))
+	})
+}
+
 func check(t *testing.T, observe func() (Observed, bool), misses []trace.Miss, h trace.Header) {
 	t.Helper()
 	if observe == nil {

@@ -14,7 +14,7 @@ import (
 // conformance doubles as an order-preservation proof for the codec.
 func TestEncoderSinkConformance(t *testing.T) {
 	const cpus = 4
-	sinktest.Run(t, "wire.Encoder", 9000, cpus, func() (trace.Sink, func() (sinktest.Observed, bool)) {
+	factory := func() (trace.Sink, func() (sinktest.Observed, bool)) {
 		var buf bytes.Buffer
 		enc := wire.NewEncoder(&buf, cpus)
 		return enc, func() (sinktest.Observed, bool) {
@@ -30,5 +30,10 @@ func TestEncoderSinkConformance(t *testing.T) {
 				Finishes: []trace.Header{trailer.Header},
 			}, true
 		}
-	})
+	}
+	sinktest.Run(t, "wire.Encoder", 9000, cpus, factory)
+	// The batch drive must produce a byte-equivalent stream: AppendBatch
+	// shares the record encoder and frame chunking with Append, so the
+	// decode observes the same records either way.
+	sinktest.RunBatch(t, "wire.Encoder", 9000, cpus, factory)
 }

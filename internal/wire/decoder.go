@@ -19,8 +19,10 @@ import (
 // can classify failures without string matching.
 //
 // Memory is O(frame): the decoder holds one frame payload at a time
-// (bounded by maxFramePayload) plus the per-CPU delta chain, never the
-// stream.
+// (bounded by maxFramePayload), the decoded records of that one frame
+// (delivered to the sink as a single batch through trace.AppendAll, so
+// batch-capable sinks pay interface dispatch once per frame instead of
+// once per record), and the per-CPU delta chain — never the stream.
 //
 // For the ingest server's resume protocol, a Decoder exposes its exact
 // progress — data frames fully consumed, records delivered, and the
@@ -36,8 +38,9 @@ type Decoder struct {
 	meta Meta
 	prev []uint64 // last block seen per CPU
 
-	payload []byte // reusable frame-payload buffer
-	read    bool   // header frame consumed
+	payload []byte       // reusable frame-payload buffer
+	batch   []trace.Miss // reusable decoded-frame buffer (one sink delivery per frame)
+	read    bool         // header frame consumed
 	err     error
 
 	frames   int64 // data frames fully delivered (cumulative across resumes)
@@ -273,8 +276,11 @@ func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
 	}
 }
 
-// decodeData parses one data frame's records into sink; n is how many were
-// delivered before any error.
+// decodeData parses one data frame's records and delivers them to sink
+// as a single batch (trace.AppendAll — the ingest fast path); n is how
+// many were delivered. On a malformed frame the records parsed before
+// the bad byte are still delivered, exactly as the per-record path did,
+// so Run's boundary accounting is unchanged.
 func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 	count, p, ok := uvarint(p)
 	if !ok {
@@ -284,36 +290,45 @@ func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 	if count > uint64(len(p)) {
 		return 0, d.fail(ErrCorrupt, "data frame claims %d records in %d bytes", count, len(p))
 	}
+	// The batch buffer grows by appending parsed records — never from the
+	// claimed count — so a hostile count cannot provoke a large
+	// allocation; it stays sized to the largest real frame seen.
+	batch := d.batch[:0]
+	flush := func() int64 {
+		trace.AppendAll(sink, batch)
+		d.batch = batch[:0] // keep the grown capacity
+		return int64(len(batch))
+	}
 	for i := uint64(0); i < count; i++ {
 		var key, fn uint64
 		var delta int64
 		if key, p, ok = uvarint(p); !ok {
-			return int64(i), d.fail(ErrCorrupt, "record %d key", i)
+			return flush(), d.fail(ErrCorrupt, "record %d key", i)
 		}
 		cpu := key >> 4
 		class := trace.MissClass(key >> 2 & 3)
 		supplier := trace.Supplier(key & 3)
 		if cpu >= uint64(d.meta.CPUs) {
-			return int64(i), d.fail(ErrCorrupt, "record cpu %d out of range (%d cpus)", cpu, d.meta.CPUs)
+			return flush(), d.fail(ErrCorrupt, "record cpu %d out of range (%d cpus)", cpu, d.meta.CPUs)
 		}
 		if class >= trace.NumMissClasses || supplier >= trace.NumSuppliers {
-			return int64(i), d.fail(ErrCorrupt, "record class/supplier %d/%d invalid", class, supplier)
+			return flush(), d.fail(ErrCorrupt, "record class/supplier %d/%d invalid", class, supplier)
 		}
 		if fn, p, ok = uvarint(p); !ok {
-			return int64(i), d.fail(ErrCorrupt, "record %d func", i)
+			return flush(), d.fail(ErrCorrupt, "record %d func", i)
 		}
 		if fn >= maxFuncs {
-			return int64(i), d.fail(ErrCorrupt, "record func id %d out of range", fn)
+			return flush(), d.fail(ErrCorrupt, "record func id %d out of range", fn)
 		}
 		if delta, p, ok = varint(p); !ok {
-			return int64(i), d.fail(ErrCorrupt, "record %d addr delta", i)
+			return flush(), d.fail(ErrCorrupt, "record %d addr delta", i)
 		}
 		block := int64(d.prev[cpu]) + delta
 		if block < 0 || block >= 1<<58 {
-			return int64(i), d.fail(ErrCorrupt, "record %d block %d out of range", i, block)
+			return flush(), d.fail(ErrCorrupt, "record %d block %d out of range", i, block)
 		}
 		d.prev[cpu] = uint64(block)
-		sink.Append(trace.Miss{
+		batch = append(batch, trace.Miss{
 			Addr:     uint64(block) << 6,
 			Func:     trace.FuncID(fn),
 			CPU:      uint8(cpu),
@@ -322,9 +337,9 @@ func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 		})
 	}
 	if len(p) != 0 {
-		return int64(count), d.fail(ErrCorrupt, "trailing bytes in data frame")
+		return flush(), d.fail(ErrCorrupt, "trailing bytes in data frame")
 	}
-	return int64(count), nil
+	return flush(), nil
 }
 
 // decodeTrailer parses the trailer payload.

@@ -47,6 +47,8 @@ type Encoder struct {
 	err      error
 }
 
+var _ trace.BatchSink = (*Encoder)(nil)
+
 // NewEncoder starts a wire stream for a cpus-processor miss stream on w,
 // writing the magic and header frame immediately. The encoder does its own
 // chunking, so w needs no additional buffering for throughput (each frame
@@ -105,6 +107,34 @@ func (e *Encoder) Append(m trace.Miss) {
 		e.err = errors.New("wire: Append after Finish")
 		return
 	}
+	e.appendOne(m)
+}
+
+// AppendBatch implements trace.BatchSink: the stream-state checks run
+// once per batch instead of once per record; the per-record validation
+// (cpu range, class/supplier) stays, because it guards the wire
+// format's invariants, not the call protocol. A record that fails
+// validation flips the error state and drops the rest of the batch —
+// the same prefix the per-record path would have encoded.
+func (e *Encoder) AppendBatch(ms []trace.Miss) {
+	if e.err != nil {
+		return
+	}
+	if e.finished {
+		e.err = errors.New("wire: Append after Finish")
+		return
+	}
+	for _, m := range ms {
+		e.appendOne(m)
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// appendOne validates and encodes one record; the caller has checked
+// the err/finished stream state.
+func (e *Encoder) appendOne(m trace.Miss) {
 	if int(m.CPU) >= e.cpus {
 		e.err = fmt.Errorf("wire: record cpu %d out of range (stream has %d cpus)", m.CPU, e.cpus)
 		return

@@ -21,6 +21,15 @@ type StreamOptions struct {
 	// memory again. Off by default: streaming results carry only headers
 	// and analyses.
 	KeepTraces bool
+	// ShardConsumers fans the session's independent consumers out across
+	// goroutines per chunk: the prefetcher evaluation runs concurrently
+	// with the analyzer feed, joining before the chunk returns. The
+	// consumers are independent state machines that each see the chunk in
+	// record order, so results are byte-identical to the serial drive; the
+	// fork/join is internal, preserving the Sink contract's
+	// single-goroutine drive for the caller. Only profitable with a
+	// prefetcher attached and idle cores; off by default.
+	ShardConsumers bool
 }
 
 // streamChunk bounds the Session's batching buffer (misses). Feeding the
@@ -81,7 +90,14 @@ type Session struct {
 	ev     *prefetch.Evaluator
 	tr     *trace.Trace
 	header trace.Header
+	// evDone, when non-nil, selects the sharded drive: consume forks the
+	// evaluator onto its own goroutine per chunk and joins on this
+	// capacity-1 channel (reused across chunks, so sharding allocates
+	// nothing per chunk).
+	evDone chan struct{}
 }
+
+var _ trace.BatchSink = (*Session)(nil)
 
 // NewSession prepares the consumers for one miss stream of a
 // cpus-processor machine; expect is the anticipated window length, used
@@ -95,6 +111,9 @@ func NewSession(cpus, expect int, opts StreamOptions) *Session {
 	s.an.Grow(expect)
 	if opts.Prefetch != nil {
 		s.ev = prefetch.NewEvaluator(*opts.Prefetch)
+		if opts.ShardConsumers {
+			s.evDone = make(chan struct{}, 1)
+		}
 	}
 	if opts.KeepTraces {
 		s.tr = &trace.Trace{}
@@ -120,20 +139,75 @@ func (s *Session) Append(m trace.Miss) {
 	}
 }
 
-// flush drains the chunk through the analyzer, prefetcher, and trace in
-// record order.
+// flush drains the chunk buffer through consume.
 func (s *Session) flush() {
-	s.an.FeedAll(s.chunk)
-	if s.ev != nil {
-		for i := range s.chunk {
-			s.ev.Step(s.chunk[i])
+	s.consume(s.chunk)
+	s.chunk = s.chunk[:0]
+}
+
+// consume runs every consumer over ms in record order — the shared path
+// behind Append's chunk buffer and AppendBatch's direct delivery. ms is
+// only borrowed (each consumer copies what it keeps). With
+// ShardConsumers the prefetcher evaluation runs on its own goroutine
+// concurrently with the analyzer feed — both read ms, neither writes it
+// — and consume joins before returning, so the caller still sees a
+// strictly serial Sink.
+func (s *Session) consume(ms []trace.Miss) {
+	if s.evDone != nil && len(ms) > 0 {
+		go func() {
+			for i := range ms {
+				s.ev.Step(ms[i])
+			}
+			s.evDone <- struct{}{}
+		}()
+		s.an.FeedAll(ms)
+		<-s.evDone
+	} else {
+		s.an.FeedAll(ms)
+		if s.ev != nil {
+			for i := range ms {
+				s.ev.Step(ms[i])
+			}
 		}
 	}
 	if s.tr != nil {
-		s.tr.Misses = append(s.tr.Misses, s.chunk...)
+		s.tr.Misses = append(s.tr.Misses, ms...)
 	}
-	s.chunk = s.chunk[:0]
 	s.inert = s.an.Full() && s.ev == nil && s.tr == nil
+}
+
+// batchDirect is the batch size from which AppendBatch bypasses the
+// chunk buffer: a batch this large already amortizes the per-chunk
+// dispatch, so buffering it again would only add a copy. Matches the
+// wire decoder's frame granularity.
+const batchDirect = 4096
+
+// AppendBatch implements trace.BatchSink: small batches land in the
+// same chunk buffer Append fills (so mixed drives chunk identically);
+// batches of at least batchDirect records flush the buffer and feed the
+// consumers directly, skipping the copy — the decoded-frame fast path
+// of the ingest server. Ordering across mixed Append/AppendBatch calls
+// is exactly delivery order, and the same lifecycle panics apply.
+func (s *Session) AppendBatch(ms []trace.Miss) {
+	if s.state != sessionOpen {
+		panic("tempstream: Session.Append after Finish or Close (the Sink contract allows appends only before the single Finish)")
+	}
+	if s.inert || len(ms) == 0 {
+		return
+	}
+	if len(ms) >= batchDirect {
+		s.flush() // buffered records first: order is delivery order
+		s.consume(ms)
+		return
+	}
+	for len(ms) > 0 && !s.inert {
+		n := min(cap(s.chunk)-len(s.chunk), len(ms))
+		s.chunk = append(s.chunk, ms[:n]...)
+		ms = ms[n:]
+		if len(s.chunk) == cap(s.chunk) {
+			s.flush()
+		}
+	}
 }
 
 // Finish implements trace.Sink, sealing the stream with its header.
