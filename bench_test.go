@@ -381,6 +381,8 @@ func BenchmarkPipelinedCollect(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var misses uint64
+			var pipe trace.PipeStats
+			var analyze float64
 			for i := 0; i < b.N; i++ {
 				exp, err := r.Run(context.Background(), Request{
 					App: OLTP, Scale: Small, Seed: int64(i + 2), TargetMisses: 20000,
@@ -396,8 +398,19 @@ func BenchmarkPipelinedCollect(b *testing.B) {
 					}
 					misses += uint64(h.Misses)
 				}
+				pipe.Add(exp.Stages.PipelineTotal())
+				for _, s := range exp.Stages.AnalyzeSeconds {
+					analyze += s
+				}
 			}
 			b.ReportMetric(float64(misses)/b.Elapsed().Seconds(), "misses/sec")
+			// The run-stage trace, per iteration, so BENCH_<n>.json records
+			// which side of the ring stalled at each depth.
+			n := float64(b.N)
+			b.ReportMetric(float64(pipe.ProducerStalls)/n, "prod-stalls/op")
+			b.ReportMetric(float64(pipe.ConsumerStalls)/n, "cons-stalls/op")
+			b.ReportMetric(float64(pipe.Chunks)/n, "chunks/op")
+			b.ReportMetric(analyze/n, "analyze-sec/op")
 		})
 	}
 }

@@ -13,14 +13,19 @@
 //	tsgate -backends host1:7465,host2:7465 [-addr :7464] [-stats :7467]
 //	       [-backends-file PATH] [-name tsgate] [-probe-interval 2s]
 //	       [-load-factor 1.25] [-ring-frames 4096] [-resume-grace 30s]
+//	       [-config FILE] [-log-format text|json] [-log-level LEVEL] [-pprof]
 //
 // Clients speak to tsgate exactly as they would to a single tsserved —
 // tsload needs only the address swapped. The -stats listener serves the
 // fleet view on /stats (per-backend circuit state, session counts,
-// records/sec) and membership admin on /backends (GET lists, POST
-// replaces; removed backends drain, added ones warm in). SIGHUP re-reads
-// -backends-file for the same live membership edit. SIGINT/SIGTERM drain
-// gracefully, then print a fleet summary.
+// records/sec), Prometheus text-format metrics on /metrics, membership
+// admin on /backends (GET lists, POST replaces; removed backends drain,
+// added ones warm in), and — with -pprof — net/http/pprof under
+// /debug/pprof/. Structured logs (slog) go to stderr in -log-format at
+// -log-level; stdout carries only the readiness lines. -config loads
+// key=value or JSON flag defaults from a file; explicit command-line
+// flags win. SIGHUP re-reads -backends-file for the same live membership
+// edit. SIGINT/SIGTERM drain gracefully, then print a fleet summary.
 package main
 
 import (
@@ -34,7 +39,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,6 +58,9 @@ func main() {
 	retryHint := flag.Duration("retry-hint", 0, "retry_after_ms attached to shed responses (0 = 500ms)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "max silence between a client connection's reads before it is dropped (0 = 2m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	configFile := flag.String("config", "", "config file with flag defaults (key=value lines or a JSON object); explicit flags win")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the stats listener")
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	fatal := func(err error) {
@@ -59,6 +69,15 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if *configFile != "" {
+		if err := cli.ApplyConfig(flag.CommandLine, *configFile); err != nil {
+			fatal(err)
+		}
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if *backends == "" && *backendsFile == "" {
 		fatal(fmt.Errorf("no backends: pass -backends or -backends-file"))
@@ -93,6 +112,7 @@ func main() {
 		RetryHint:     *retryHint,
 		ResumeGrace:   *resumeGrace,
 		IdleTimeout:   *idleTimeout,
+		Logger:        logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -105,13 +125,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		statsSrv = &http.Server{Handler: gw.Handler()}
+		mux := obs.NewMux(gw.StatsHandler(), gw.Registry(), *pprofOn,
+			map[string]http.Handler{"/backends": gw.BackendsHandler()})
+		statsSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := statsSrv.Serve(statsLn); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "tsgate: stats listener: %v\n", err)
 			}
 		}()
-		fmt.Printf("tsgate: stats on http://%s/stats\n", statsLn.Addr())
+		fmt.Printf("tsgate: stats on http://%s/stats and /metrics\n", statsLn.Addr())
 	}
 	// The "listening" lines are the readiness signal for supervisors and
 	// the fleet e2e test.

@@ -9,6 +9,7 @@
 //	tsload -addr HOST:7465 [-clients 4] [-apps all|oltp,apache,...]
 //	       [-machine both] [-intra] [-scale small] [-seed 1] [-target 20000]
 //	       [-window N] [-prefetch] [-repeat 1] [-resilient=true] [-json]
+//	       [-progress 10s] [-log-format text|json] [-log-level LEVEL]
 //
 // Each job simulates one app on one machine model and streams its
 // off-chip misses into one session; with -intra, a single-chip job
@@ -30,6 +31,11 @@
 // and failure counts, aggregate records/sec, and the recovery counters —
 // for harnesses (the fleet chaos e2e, CI) to parse; the human-readable
 // lines move to stderr.
+//
+// Structured logs (slog, -log-format/-log-level) always go to stderr, so
+// the -json stdout stays machine-clean: a progress line every -progress
+// interval (jobs done, records, rate, recovery counters so far) and a
+// final recovery summary broken out by error class.
 //
 // SIGINT/SIGTERM cancels the fleet: queued jobs are dropped, every
 // in-flight simulation stops within one engine step, its half-fed
@@ -53,6 +59,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -109,6 +116,23 @@ func (f *fleet) collect(s ingestSession) {
 	}
 }
 
+// snapshot returns the recovery counters folded in so far.
+func (f *fleet) snapshot() server.RetryStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries
+}
+
+// retryAttrs breaks RetryStats out as slog attributes, one per error
+// class — the structured twin of the human recovery line.
+func retryAttrs(r server.RetryStats) []any {
+	return []any{
+		"dials", r.Dials, "transport", r.Transport, "busy", r.Busy,
+		"draining", r.Draining, "stream_errors", r.StreamErrors,
+		"resumes", r.Resumes, "restarts", r.Restarts, "resume_lost", r.ResumeLost,
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7465", "tsserved ingest address")
 	clients := flag.Int("clients", 4, "concurrent client simulations")
@@ -123,11 +147,17 @@ func main() {
 	repeat := flag.Int("repeat", 1, "repetitions of the app x machine job list")
 	resilient := flag.Bool("resilient", true, "retrying/resumable sessions (false = legacy single-shot client)")
 	jsonOut := flag.Bool("json", false, "machine-readable summary as one JSON object on stdout (human lines move to stderr)")
+	progress := flag.Duration("progress", 10*time.Second, "structured progress log interval on stderr (0 = disabled)")
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	fatal := func(err error) {
 		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
 		os.Exit(2)
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	apps, err := cli.Apps(*appsFlag)
 	if err != nil {
@@ -194,10 +224,39 @@ func main() {
 		mu           sync.Mutex
 		failed       int
 		totalRecords atomic.Int64
+		jobsDone     atomic.Int64
 		wg           sync.WaitGroup
 	)
 	jobCh := make(chan job)
 	start := time.Now()
+
+	// Periodic structured progress on stderr: how far the run is and
+	// what recovery work the resilient clients have done so far.
+	progressDone := make(chan struct{})
+	if *progress > 0 {
+		go func() {
+			t := time.NewTicker(*progress)
+			defer t.Stop()
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-t.C:
+					elapsed := time.Since(start).Seconds()
+					mu.Lock()
+					failedNow := failed
+					mu.Unlock()
+					attrs := []any{
+						"jobs_done", jobsDone.Load(), "jobs_total", len(jobs),
+						"sessions_failed", failedNow,
+						"records", totalRecords.Load(),
+						"records_per_sec", float64(totalRecords.Load()) / elapsed,
+					}
+					logger.Info("progress", append(attrs, retryAttrs(fl.snapshot())...)...)
+				}
+			}
+		}()
+	}
 	for w := 0; w < *clients; w++ {
 		wg.Add(1)
 		go func() {
@@ -207,6 +266,7 @@ func main() {
 					continue // interrupted: drain the queue without dialing new sessions
 				}
 				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords, human)
+				jobsDone.Add(1)
 				if errors.Is(err, context.Canceled) {
 					continue // reported once below, not per job
 				}
@@ -215,6 +275,7 @@ func main() {
 					failed++
 					fmt.Fprintf(os.Stderr, "tsload: %v/%v: %v\n", j.app, j.machine, err)
 					mu.Unlock()
+					logger.Warn("session failed", "app", fmt.Sprint(j.app), "machine", fmt.Sprint(j.machine), "error", err.Error())
 				}
 			}
 		}()
@@ -229,6 +290,7 @@ dispatch:
 	}
 	close(jobCh)
 	wg.Wait()
+	close(progressDone)
 	elapsed := time.Since(start)
 
 	recs := totalRecords.Load()
@@ -238,6 +300,7 @@ dispatch:
 		r := fl.retries
 		fmt.Fprintf(human, "tsload: recovery: dials=%d transport=%d busy=%d draining=%d stream=%d resumes=%d restarts=%d resume_lost=%d\n",
 			r.Dials, r.Transport, r.Busy, r.Draining, r.StreamErrors, r.Resumes, r.Restarts, r.ResumeLost)
+		logger.Info("recovery", retryAttrs(r)...)
 	}
 	if *jsonOut {
 		summary := struct {

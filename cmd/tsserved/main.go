@@ -9,13 +9,18 @@
 // Usage:
 //
 //	tsserved [-addr :7465] [-stats :7466] [-max-sessions 16] [-max-window N]
-//	         [-max-queue N] [-resume-grace 30s] [-chaos SPEC]
+//	         [-max-queue N] [-resume-grace 30s] [-chaos SPEC] [-config FILE]
+//	         [-log-format text|json] [-log-level LEVEL] [-pprof]
 //
-// The -stats listener serves a JSON snapshot on /stats: aggregate ingest
-// counters plus one row per session (records, records/sec, and — once the
-// session completes — its stream fraction and MPKI). SIGINT/SIGTERM
-// drain gracefully: the listener closes, in-flight and queued sessions
-// run to completion (up to -drain-timeout), then the process exits 0.
+// The -stats listener serves a JSON snapshot on /stats (aggregate ingest
+// counters plus one row per session), Prometheus text-format metrics on
+// /metrics, and — with -pprof — the net/http/pprof profiles under
+// /debug/pprof/. Structured logs (slog) go to stderr in -log-format at
+// -log-level; stdout carries only the readiness lines. -config loads
+// key=value or JSON flag defaults from a file; explicit command-line
+// flags win. SIGINT/SIGTERM drain gracefully: the listener closes,
+// in-flight and queued sessions run to completion (up to
+// -drain-timeout), then the process exits 0.
 //
 // Overload is shed explicitly: beyond -max-queue waiting sessions, new
 // arrivals are refused immediately with a machine-readable busy code and
@@ -47,6 +52,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/faultnet"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -63,11 +69,23 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
 	shardSessions := flag.Bool("shard-sessions", false, "fan each session's analysis consumers across goroutines per decoded chunk (identical results; useful with spare cores)")
 	chaos := flag.String("chaos", "", "deterministic fault-injection spec for accepted connections, e.g. seed=7,reset=262144,partial=1 (testing only)")
+	configFile := flag.String("config", "", "config file with flag defaults (key=value lines or a JSON object); explicit flags win")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the stats listener")
+	logFlags := obs.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	fatal := func(err error) {
 		fmt.Fprintf(os.Stderr, "tsserved: %v\n", err)
 		os.Exit(2)
+	}
+	if *configFile != "" {
+		if err := cli.ApplyConfig(flag.CommandLine, *configFile); err != nil {
+			fatal(err)
+		}
+	}
+	logger, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 	if err := cli.Positive("-max-sessions", *maxSessions); err != nil {
 		fatal(err)
@@ -96,6 +114,7 @@ func main() {
 		IdleTimeout:   *idleTimeout,
 		ResumeGrace:   *resumeGrace,
 		ShardSessions: *shardSessions,
+		Logger:        logger,
 	})
 	fmt.Printf("tsserved: listening on %s (max-sessions=%d)\n", srv.Addr(), *maxSessions)
 	if spec.Enabled() {
@@ -104,15 +123,18 @@ func main() {
 
 	var statsSrv *http.Server
 	if *statsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/stats", srv.StatsHandler())
-		statsSrv = &http.Server{Addr: *statsAddr, Handler: mux}
+		statsLn, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := obs.NewMux(srv.StatsHandler(), srv.Registry(), *pprofOn, nil)
+		statsSrv = &http.Server{Handler: mux}
 		go func() {
-			if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := statsSrv.Serve(statsLn); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "tsserved: stats listener: %v\n", err)
 			}
 		}()
-		fmt.Printf("tsserved: stats on http://%s/stats\n", *statsAddr)
+		fmt.Printf("tsserved: stats on http://%s/stats and /metrics\n", statsLn.Addr())
 	}
 	// The "listening" lines are the readiness signal for supervisors and
 	// the e2e smoke test.

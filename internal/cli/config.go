@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ApplyConfig layers a config file under already-parsed flags: every
+// key in the file names a flag on fs, and the file's value is applied
+// only when that flag was not set explicitly on the command line
+// (explicit flags always win). Call after fs.Parse.
+//
+// Two formats share the contract, distinguished by the first non-space
+// byte:
+//
+//   - JSON object: {"listen": ":7465", "max-sessions": 8}. Values may
+//     be strings, numbers, or booleans; they are stringified onto the
+//     flag, so "8" and 8 are equivalent.
+//   - key=value lines: one flag per line, # and ; start comments,
+//     blank lines ignored. Values keep internal whitespace; surrounding
+//     whitespace is trimmed.
+//
+// Unknown keys are errors — a typoed key silently doing nothing is the
+// failure mode this exists to prevent.
+func ApplyConfig(fs *flag.FlagSet, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("config %s: %v", path, err)
+	}
+	pairs, err := parseConfig(data)
+	if err != nil {
+		return fmt.Errorf("config %s: %v", path, err)
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, kv := range pairs {
+		if fs.Lookup(kv.key) == nil {
+			return fmt.Errorf("config %s: unknown flag %q", path, kv.key)
+		}
+		if set[kv.key] {
+			continue // explicit command-line flag wins
+		}
+		if err := fs.Set(kv.key, kv.value); err != nil {
+			return fmt.Errorf("config %s: flag %s: %v", path, kv.key, err)
+		}
+	}
+	return nil
+}
+
+type configPair struct{ key, value string }
+
+// parseConfig dispatches on the first non-space byte: '{' means JSON,
+// anything else key=value lines. JSON pairs come back sorted by key
+// (object order is not observable through encoding/json); application
+// is per-key so order never matters.
+func parseConfig(data []byte) ([]configPair, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(trimmed), &obj); err != nil {
+			return nil, fmt.Errorf("invalid JSON: %v", err)
+		}
+		var pairs []configPair
+		for k, v := range obj {
+			s, err := stringifyJSONValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("key %q: %v", k, err)
+			}
+			pairs = append(pairs, configPair{k, s})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+		return pairs, nil
+	}
+	var pairs []configPair
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("line %d: %q is not key=value", i+1, line)
+		}
+		pairs = append(pairs, configPair{strings.TrimSpace(key), strings.TrimSpace(value)})
+	}
+	return pairs, nil
+}
+
+// stringifyJSONValue converts a decoded JSON scalar to the string the
+// flag package would have parsed. Objects and arrays are rejected —
+// flags are scalars.
+func stringifyJSONValue(v any) (string, error) {
+	switch t := v.(type) {
+	case string:
+		return t, nil
+	case bool:
+		if t {
+			return "true", nil
+		}
+		return "false", nil
+	case float64:
+		// Render integers without the decimal point so int flags parse.
+		if t == float64(int64(t)) {
+			return fmt.Sprintf("%d", int64(t)), nil
+		}
+		return fmt.Sprintf("%g", t), nil
+	case nil:
+		return "", fmt.Errorf("null is not a flag value")
+	default:
+		return "", fmt.Errorf("nested objects and arrays are not flag values")
+	}
+}

@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "conf")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func daemonFlags() (*flag.FlagSet, *string, *int, *bool) {
+	fs := flag.NewFlagSet("tsserved", flag.ContinueOnError)
+	listen := fs.String("listen", ":7465", "")
+	sessions := fs.Int("max-sessions", 4, "")
+	pprof := fs.Bool("pprof", false, "")
+	return fs, listen, sessions, pprof
+}
+
+func TestApplyConfigKeyValue(t *testing.T) {
+	path := writeConfig(t, `
+# ingest daemon
+listen = :9000
+max-sessions = 16
+; semicolon comments too
+pprof = true
+`)
+	fs, listen, sessions, pprof := daemonFlags()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyConfig(fs, path); err != nil {
+		t.Fatal(err)
+	}
+	if *listen != ":9000" || *sessions != 16 || !*pprof {
+		t.Errorf("got listen=%q sessions=%d pprof=%v", *listen, *sessions, *pprof)
+	}
+}
+
+func TestApplyConfigJSON(t *testing.T) {
+	path := writeConfig(t, `{"listen": ":9000", "max-sessions": 16, "pprof": true}`)
+	fs, listen, sessions, pprof := daemonFlags()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyConfig(fs, path); err != nil {
+		t.Fatal(err)
+	}
+	if *listen != ":9000" || *sessions != 16 || !*pprof {
+		t.Errorf("got listen=%q sessions=%d pprof=%v", *listen, *sessions, *pprof)
+	}
+}
+
+// TestExplicitFlagsWin is the precedence pin: command-line values
+// survive a config file that contradicts them, while unset flags take
+// the file's values.
+func TestExplicitFlagsWin(t *testing.T) {
+	path := writeConfig(t, "listen = :9000\nmax-sessions = 16\n")
+	fs, listen, sessions, _ := daemonFlags()
+	if err := fs.Parse([]string{"-listen", ":7777"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyConfig(fs, path); err != nil {
+		t.Fatal(err)
+	}
+	if *listen != ":7777" {
+		t.Errorf("explicit -listen overridden: %q", *listen)
+	}
+	if *sessions != 16 {
+		t.Errorf("unset flag ignored config: %d", *sessions)
+	}
+}
+
+func TestApplyConfigErrors(t *testing.T) {
+	for _, tc := range []struct{ name, content, wantErr string }{
+		{"unknown key", "no-such-flag = 1\n", "unknown flag"},
+		{"not key=value", "just a line\n", "not key=value"},
+		{"bad json", "{broken", "invalid JSON"},
+		{"bad value type", `{"max-sessions": "many"}`, "flag max-sessions"},
+		{"json null", `{"listen": null}`, "null"},
+		{"json nested", `{"listen": {"a": 1}}`, "nested"},
+	} {
+		path := writeConfig(t, tc.content)
+		fs, _, _, _ := daemonFlags()
+		fs.Parse(nil)
+		err := ApplyConfig(fs, path)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	fs, _, _, _ := daemonFlags()
+	fs.Parse(nil)
+	if err := ApplyConfig(fs, filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file: no error")
+	}
+}
+
+// TestConfigRoundTrip writes every flag both ways, reloads, and checks
+// the two formats land identical values.
+func TestConfigRoundTrip(t *testing.T) {
+	kv := writeConfig(t, "listen = :9000\nmax-sessions = 16\npprof = true\n")
+	js := writeConfig(t, `{"listen": ":9000", "max-sessions": 16, "pprof": true}`)
+	var got []string
+	for _, path := range []string{kv, js} {
+		fs, listen, sessions, pprof := daemonFlags()
+		fs.Parse(nil)
+		if err := ApplyConfig(fs, path); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, *listen+"|"+string(rune('0'+*sessions/10))+string(rune('0'+*sessions%10))+"|"+map[bool]string{true: "t", false: "f"}[*pprof])
+	}
+	if got[0] != got[1] {
+		t.Errorf("formats disagree: key=value %q vs JSON %q", got[0], got[1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/obs"
 )
 
 // buildFleetBinaries compiles tsserved, tsgate, and tsload
@@ -115,6 +117,58 @@ func (p *proc) shutdown(t *testing.T) {
 	}
 }
 
+// scrapeFleetMetrics fetches the gateway's /metrics and validates it
+// strictly: content type, text format, naming conventions, and the
+// presence of every required tsgate family. Returns the raw exposition.
+func scrapeFleetMetrics(t *testing.T, statsAddr string, required []string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + statsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	fams, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	if viol := obs.LintNames(fams); len(viol) != 0 {
+		t.Errorf("/metrics naming violations: %v", viol)
+	}
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	for _, name := range required {
+		if !have[name] {
+			t.Errorf("/metrics is missing required family %s", name)
+		}
+	}
+	return body
+}
+
+// saveScrape writes a captured exposition under $E2E_METRICS_DIR (the CI
+// artifact directory) when set; otherwise it is a no-op.
+func saveScrape(t *testing.T, name string, body []byte) {
+	t.Helper()
+	dir := os.Getenv("E2E_METRICS_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("creating %s: %v", dir, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+		t.Fatalf("writing scrape artifact: %v", err)
+	}
+}
+
 // fleetStats fetches and decodes the gateway's /stats snapshot.
 func fleetStats(t *testing.T, statsAddr string) gateway.FleetStats {
 	t.Helper()
@@ -194,6 +248,22 @@ func TestEndToEndFleetChaos(t *testing.T) {
 	}
 	t.Logf("killed backend %s mid-load", victim)
 
+	// Mid-load, one backend freshly dead: /metrics must still be valid
+	// exposition with the full tsgate catalog.
+	fleetRequired := []string{
+		"tsgate_sessions_total",
+		"tsgate_sessions_completed_total",
+		"tsgate_sessions_rerouted_total",
+		"tsgate_healthy_backends",
+		"tsgate_replay_ring_frames",
+		"tsgate_backend_circuit_state",
+		"tsgate_backend_active_sessions",
+		"tsgate_backend_routed_total",
+		"tsgate_probe_seconds",
+	}
+	midLoad := scrapeFleetMetrics(t, gw.statsAddr, fleetRequired)
+	saveScrape(t, "tsgate-metrics.txt", midLoad)
+
 	if err := <-loadDone; err != nil {
 		t.Fatalf("tsload failed: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
 	}
@@ -228,6 +298,20 @@ func TestEndToEndFleetChaos(t *testing.T) {
 	for _, b := range st.Backends {
 		if b.Addr == victim && b.Circuit == gateway.CircuitClosed {
 			t.Errorf("dead backend %s circuit still closed: %+v", victim, b)
+		}
+	}
+	// Quiesced, the exposition still parses and the dead backend reads as
+	// an open circuit on /metrics too.
+	final := scrapeFleetMetrics(t, gw.statsAddr, fleetRequired)
+	fams, _ := obs.ParseText(bytes.NewReader(final))
+	for _, f := range fams {
+		if f.Name != "tsgate_backend_circuit_state" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Labels["backend"] == victim && s.Value == 0 {
+				t.Errorf("circuit_state{backend=%q} = 0 on /metrics, want open for the killed backend", victim)
+			}
 		}
 	}
 

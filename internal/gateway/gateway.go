@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"sync"
@@ -87,6 +88,9 @@ type Config struct {
 	Probe func(addr string, timeout time.Duration) (*server.Stats, error)
 	// Dial overrides the backend transport. nil means TCP with DialTimeout.
 	Dial func(addr string) (net.Conn, error)
+	// Logger receives the gateway's structured log events (membership
+	// changes, probes, reroutes, sheds). nil means discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +145,9 @@ func (c Config) withDefaults() Config {
 			return net.DialTimeout("tcp", addr, dt)
 		}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -191,6 +198,16 @@ type Gateway struct {
 	totalExpired   atomic.Int64
 	totalRelayedOK atomic.Int64
 
+	// ringFrames counts data frames currently retained across every
+	// session's replay ring — the gateway's dominant memory consumer.
+	// Incremented at the single retention site (relay's data-frame case),
+	// decremented wherever a ring is released (overflow, session end,
+	// park expiry, teardown).
+	ringFrames atomic.Int64
+
+	metrics *gatewayMetrics
+	log     *slog.Logger
+
 	start time.Time
 }
 
@@ -212,8 +229,12 @@ func New(ln net.Listener, cfg Config) *Gateway {
 		backends: make(map[string]*backend),
 		ring:     buildRing(nil, cfg.Replicas),
 		parked:   make(map[string]*gwSession),
+		log:      cfg.Logger,
 		start:    time.Now(),
 	}
+	// Metrics before SetBackends: the probers it spawns observe probe
+	// latency from their first exchange.
+	g.metrics = newGatewayMetrics(g)
 	g.SetBackends(cfg.Backends)
 	return g
 }
@@ -313,6 +334,7 @@ func (g *Gateway) teardown() {
 			p.parkTimer.Stop()
 		}
 		g.detach(p)
+		g.releaseFrames(p)
 	}
 	for _, b := range bs {
 		b.stopProber()
@@ -368,6 +390,9 @@ func (g *Gateway) SetBackends(addrs []string) (added, removed []string) {
 	for _, b := range started {
 		go g.probeLoop(b)
 	}
+	if len(added) > 0 || len(removed) > 0 {
+		g.log.Info("membership changed", "added", added, "removed", removed)
+	}
 	return added, removed
 }
 
@@ -410,11 +435,22 @@ func (g *Gateway) probeLoop(b *backend) {
 		case <-t.C:
 		}
 		if b.br.probeDue(time.Now()) {
+			prior, _, _ := b.br.current()
+			probeStart := time.Now()
 			st, err := g.cfg.Probe(b.addr, g.cfg.ProbeTimeout)
+			g.metrics.probeSeconds.With(b.addr).Observe(time.Since(probeStart).Seconds())
 			if err != nil {
 				b.br.fail(err, time.Now())
+				if prior == CircuitClosed {
+					g.log.Warn("backend probe failed; circuit opened", "backend", b.addr, "error", err.Error())
+				} else {
+					g.log.Debug("backend probe failed", "backend", b.addr, "error", err.Error())
+				}
 			} else {
 				b.br.ok()
+				if prior != CircuitClosed {
+					g.log.Info("backend healthy; circuit closed", "backend", b.addr)
+				}
 				g.mu.Lock()
 				b.lastStats = st
 				b.lastProbe = time.Now()
@@ -492,6 +528,16 @@ func (g *Gateway) detach(s *gwSession) {
 		s.bconn.Close()
 		s.bconn = nil
 	}
+}
+
+// releaseFrames drops a session's replay ring and settles the fleet-wide
+// retained-frame gauge. Called once the ring can never be replayed again
+// (session over, park expired, overflow, teardown); idempotent.
+func (g *Gateway) releaseFrames(s *gwSession) {
+	if n := len(s.frames); n > 0 {
+		g.ringFrames.Add(-int64(n))
+	}
+	s.frames = nil
 }
 
 // newToken mints a resume token (the gateway issues its own: client-side

@@ -218,6 +218,7 @@ func (g *Gateway) relay(sess *gwSession, br *bufio.Reader, cw *lineWriter) {
 	defer func() {
 		if !parked {
 			g.detach(sess)
+			g.releaseFrames(sess)
 		}
 	}()
 
@@ -296,9 +297,12 @@ func (g *Gateway) relay(sess *gwSession, br *bufio.Reader, cw *lineWriter) {
 			if !sess.overflow {
 				if len(sess.frames) >= g.cfg.RingFrames {
 					sess.overflow = true
-					sess.frames = nil // failover impossible; stop retaining
+					g.releaseFrames(sess) // failover impossible; stop retaining
+					g.log.Info("replay ring overflowed; session can no longer fail over",
+						"session", sess.id, "key", sess.key, "ring_frames", g.cfg.RingFrames)
 				} else {
 					sess.frames = append(sess.frames, owned)
+					g.ringFrames.Add(1)
 				}
 			}
 			if fail := g.forward(sess, owned); fail != nil {
@@ -328,12 +332,17 @@ func (g *Gateway) relay(sess *gwSession, br *bufio.Reader, cw *lineWriter) {
 				return
 			}
 			g.totalRelayedOK.Add(1)
+			g.log.Info("session relayed", "session", sess.id, "key", sess.key,
+				"frames", sess.framesIn, "reroutes", sess.reroutes)
 			cw.writeRaw(respLine) // best effort; resumable clients can re-collect
 			if sess.resumable {
 				// Park the completed result for redelivery, as the server
 				// does: a client whose response line was lost resumes and
-				// collects it instead of failing with resume_unknown.
+				// collects it instead of failing with resume_unknown. Only
+				// the response line can ever be redelivered, so the replay
+				// ring's frames are dead weight — release them now.
 				g.detach(sess)
+				g.releaseFrames(sess)
 				sess.doneLine = respLine
 				g.park(sess)
 				parked = true
@@ -489,6 +498,16 @@ func (g *Gateway) backendFailed(sess *gwSession, cause error, pre *backendResp) 
 			g.mu.Unlock()
 		}
 	}
+	from := ""
+	if victim != nil {
+		from = victim.addr
+	}
+	to := ""
+	if sess.be != nil {
+		to = sess.be.addr
+	}
+	g.log.Warn("session rerouted", "session", sess.id, "key", sess.key,
+		"from", from, "to", to, "declined", decline, "cause", cause.Error())
 	return nil
 }
 
@@ -545,12 +564,16 @@ func (g *Gateway) respondFail(cw *lineWriter, sess *gwSession, fail *relayFailur
 		g.mu.Unlock()
 		if !closed {
 			g.totalParked.Add(1)
+			g.log.Info("session parked", "session", sess.id, "key", sess.key,
+				"code", string(fail.code), "error", fail.err.Error())
 			cw.writeLine(server.Response{Error: fail.err.Error(), Code: fail.code, RetryAfterMS: hint})
 			g.park(sess)
 			return true
 		}
 	}
 	g.totalFailed.Add(1)
+	g.log.Warn("session failed", "session", sess.id, "key", sess.key,
+		"code", string(fail.code), "error", fail.err.Error())
 	cw.writeLine(server.Response{Error: fail.err.Error(), Code: fail.code, RetryAfterMS: hint})
 	return false
 }
@@ -587,6 +610,7 @@ func (g *Gateway) park(sess *gwSession) {
 	if g.closed {
 		g.mu.Unlock()
 		g.detach(sess)
+		g.releaseFrames(sess)
 		return
 	}
 	sess.parkGen++
@@ -621,6 +645,8 @@ func (g *Gateway) expirePark(sess *gwSession, gen int) {
 	g.mu.Unlock()
 	g.totalExpired.Add(1)
 	g.detach(sess)
+	g.releaseFrames(sess)
+	g.log.Info("parked session expired", "session", sess.id, "key", sess.key, "frames", sess.framesIn)
 }
 
 // readResponse is the per-attachment backend reader: one line (the

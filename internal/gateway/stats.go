@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -142,13 +143,22 @@ func (g *Gateway) AggregateStats() server.Stats {
 //	                 ones warm in. Responds with the resulting diff.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(g.Stats())
-	})
-	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/stats", g.StatsHandler())
+	mux.Handle("/backends", g.BackendsHandler())
+	return mux
+}
+
+// StatsHandler serves the FleetStats snapshot as JSON — the /stats leg
+// of Handler, exposed separately so daemons can mount it on a shared
+// scrape mux (obs.NewMux).
+func (g *Gateway) StatsHandler() http.Handler {
+	return obs.JSONHandler(func() any { return g.Stats() })
+}
+
+// BackendsHandler serves the membership admin endpoint — the /backends
+// leg of Handler, exposed separately for shared-mux mounting.
+func (g *Gateway) BackendsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
 			addrs := g.BackendAddrs()
@@ -181,7 +191,6 @@ func (g *Gateway) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}
 	})
-	return mux
 }
 
 func readBody(r *http.Request, limit int64) ([]byte, error) {

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogFlags is the structured-logging flag pair every daemon and load
+// generator shares. Register with AddLogFlags, then build the logger
+// with Logger once flags are parsed.
+type LogFlags struct {
+	Format string
+	Level  string
+}
+
+// AddLogFlags registers -log-format and -log-level on fs.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Format, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&lf.Level, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	return lf
+}
+
+// Logger builds the slog.Logger the flags describe, writing to w
+// (conventionally stderr: stdout stays machine-clean for readiness
+// lines and -json summaries).
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	return NewLogger(w, lf.Format, lf.Level)
+}
+
+// NewLogger builds a slog.Logger with the given format ("text" or
+// "json") and minimum level ("debug", "info", "warn", "error").
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the operational HTTP surface tsserved and tsgate share:
+//
+//	/stats    — the caller's JSON snapshot (Content-Type set here, so
+//	            every stats endpoint in the fleet is uniformly typed).
+//	/metrics  — the registry in Prometheus text format.
+//	/debug/pprof/... — net/http/pprof, mounted only when withPprof is
+//	            set: the profiles cost real CPU when sampled and the
+//	            stats port is often reachable beyond localhost.
+//
+// extra handlers (e.g. the gateway's /backends admin endpoint) mount
+// verbatim.
+func NewMux(stats http.Handler, reg *Registry, withPprof bool, extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	if stats != nil {
+		mux.Handle("/stats", stats)
+	}
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	return mux
+}
+
+// JSONHandler serves snapshot() as indented JSON with the right
+// Content-Type — the one shape every /stats endpoint uses.
+func JSONHandler(snapshot func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshot())
+	})
+}

@@ -34,6 +34,14 @@ type SPSC[T any] struct {
 	// peer still wakes.
 	prodWake chan struct{}
 	consWake chan struct{}
+
+	// prodStalls counts producer parks (ring full), consStalls consumer
+	// parks (ring empty). A park is the only time either side leaves the
+	// lock-free fast path, so these two counters are the whole story of
+	// where a pipeline's slack went: producer stalls mean analysis is the
+	// bottleneck, consumer stalls mean simulation is.
+	prodStalls atomic.Uint64
+	consStalls atomic.Uint64
 }
 
 // NewSPSC returns a ring holding at most capacity items (rounded up to a
@@ -53,6 +61,21 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 
 // Cap returns the ring's bound.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of items currently queued. Safe from any
+// goroutine; the value is a snapshot and is meant for gauges, not
+// control flow. head loads first so the difference never goes negative
+// (head can only catch up to a tail read after it, not pass it).
+func (q *SPSC[T]) Len() int {
+	h := q.head.Load()
+	return int(q.tail.Load() - h)
+}
+
+// Stalls returns how many times the producer parked on a full ring and
+// the consumer parked on an empty one. Safe from any goroutine.
+func (q *SPSC[T]) Stalls() (producer, consumer uint64) {
+	return q.prodStalls.Load(), q.consStalls.Load()
+}
 
 // signal posts a wakeup token without blocking; if one is already
 // pending the send is dropped, which is equivalent.
@@ -79,6 +102,7 @@ func (q *SPSC[T]) Push(v T) bool {
 		}
 		// Full: park until the consumer frees a slot (or Close posts the
 		// token). The re-check loop makes a stale token harmless.
+		q.prodStalls.Add(1)
 		<-q.prodWake
 	}
 }
@@ -102,6 +126,7 @@ func (q *SPSC[T]) Pop() (T, bool) {
 			var zero T
 			return zero, false
 		}
+		q.consStalls.Add(1)
 		<-q.consWake
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // buildBinaries compiles tsserved and tsload (race-instrumented when this
@@ -41,9 +45,10 @@ func buildBinaries(t *testing.T) string {
 // address parsed from its readiness line, and the channel its remaining
 // stdout lines arrive on.
 type daemon struct {
-	cmd    *exec.Cmd
-	addr   string
-	lineCh chan string
+	cmd       *exec.Cmd
+	addr      string
+	statsAddr string
+	lineCh    chan string
 }
 
 // startDaemon launches tsserved on an ephemeral port with the given extra
@@ -71,9 +76,13 @@ func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
 		}
 		close(lineCh)
 	}()
+	wantStats := false
+	for _, a := range args {
+		wantStats = wantStats || a == "-stats"
+	}
 	d := &daemon{cmd: cmd, lineCh: lineCh}
 	deadline := time.After(30 * time.Second)
-	for d.addr == "" {
+	for d.addr == "" || (wantStats && d.statsAddr == "") {
 		select {
 		case line, ok := <-lineCh:
 			if !ok {
@@ -82,11 +91,67 @@ func startDaemon(t *testing.T, dir string, extra ...string) *daemon {
 			if rest, found := strings.CutPrefix(line, "tsserved: listening on "); found {
 				d.addr = strings.Fields(rest)[0]
 			}
+			if rest, found := strings.CutPrefix(line, "tsserved: stats on http://"); found {
+				d.statsAddr = strings.TrimSuffix(strings.Fields(rest)[0], "/stats")
+			}
 		case <-deadline:
 			t.Fatalf("timed out waiting for tsserved readiness line")
 		}
 	}
 	return d
+}
+
+// scrapeMetrics fetches /metrics from a stats address and validates it
+// strictly: the Prometheus content type, the text format (every line
+// parsed), the naming conventions, and the presence of every required
+// family. Returns the raw exposition for artifact capture.
+func scrapeMetrics(t *testing.T, statsAddr string, required []string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + statsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	fams, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, body)
+	}
+	if viol := obs.LintNames(fams); len(viol) != 0 {
+		t.Errorf("/metrics naming violations: %v", viol)
+	}
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	for _, name := range required {
+		if !have[name] {
+			t.Errorf("/metrics is missing required family %s", name)
+		}
+	}
+	return body
+}
+
+// saveScrape writes a captured exposition under $E2E_METRICS_DIR (the CI
+// artifact directory) when set; otherwise it is a no-op.
+func saveScrape(t *testing.T, name string, body []byte) {
+	t.Helper()
+	dir := os.Getenv("E2E_METRICS_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("creating %s: %v", dir, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+		t.Fatalf("writing scrape artifact: %v", err)
+	}
 }
 
 // shutdown SIGTERMs the daemon and asserts a clean drain: the drain
@@ -139,10 +204,71 @@ func TestEndToEndBinaries(t *testing.T) {
 		t.Skip("skipping binary end-to-end smoke in short mode")
 	}
 	dir := buildBinaries(t)
-	d := startDaemon(t, dir, "-max-sessions", "4")
-	// 4 clients, 4 jobs (2 apps x 2 machines), intra-chip sessions too.
-	runLoad(t, dir, d.addr, "-clients", "4", "-apps", "apache,oltp",
-		"-machine", "both", "-intra", "-target", "4000")
+	d := startDaemon(t, dir, "-max-sessions", "4", "-stats", "127.0.0.1:0", "-pprof")
+
+	// 4 clients, 4 jobs (2 apps x 2 machines), intra-chip sessions too —
+	// launched in the background so /metrics can be scraped mid-load.
+	args := []string{"-addr", d.addr, "-clients", "4", "-apps", "apache,oltp",
+		"-machine", "both", "-intra", "-target", "4000"}
+	load := exec.Command(filepath.Join(dir, "tsload"), args...)
+	load.Dir = repoRoot(t)
+	var loadOut bytes.Buffer
+	load.Stdout = &loadOut
+	load.Stderr = &loadOut
+	if err := load.Start(); err != nil {
+		t.Fatalf("starting tsload: %v", err)
+	}
+	loadDone := make(chan error, 1)
+	go func() { loadDone <- load.Wait() }()
+
+	required := []string{
+		"tsserved_sessions_total",
+		"tsserved_records_total",
+		"tsserved_ingest_bytes_total",
+		"tsserved_sessions_active",
+		"tsserved_analyzer_slots",
+		"tsserved_session_close_seconds",
+		"tsserved_uptime_seconds",
+	}
+	// Scrape under load until ingest is visibly in flight: bytes are
+	// counted at the transport, so any streaming session moves them.
+	deadline := time.Now().Add(30 * time.Second)
+	var midLoad []byte
+	for midLoad == nil {
+		select {
+		case err := <-loadDone:
+			t.Fatalf("tsload finished before a mid-load scrape landed: %v\n%s", err, loadOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no mid-load scrape showed ingest traffic")
+		}
+		body := scrapeMetrics(t, d.statsAddr, required)
+		if bytes.Contains(body, []byte("tsserved_ingest_bytes_total ")) &&
+			!bytes.Contains(body, []byte("tsserved_ingest_bytes_total 0")) {
+			midLoad = body
+		}
+	}
+	saveScrape(t, "tsserved-metrics.txt", midLoad)
+
+	// pprof rides the same mux behind -pprof.
+	resp, err := http.Get("http://" + d.statsAddr + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline: err=%v status=%v", err, resp)
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+
+	if err := <-loadDone; err != nil {
+		t.Fatalf("tsload: %v\n%s", err, loadOut.String())
+	}
+	out := loadOut.Bytes()
+	if !bytes.Contains(out, []byte("0 sessions failed")) || !bytes.Contains(out, []byte("records/sec aggregate")) {
+		t.Fatalf("tsload output missing success summary:\n%s", out)
+	}
+	// A quiesced scrape still parses and carries the final counters.
+	scrapeMetrics(t, d.statsAddr, required)
 	d.shutdown(t)
 }
 

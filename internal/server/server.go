@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -17,6 +18,7 @@ import (
 
 	tempstream "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -117,6 +119,9 @@ type Config struct {
 	// are byte-identical; worth enabling when the daemon has cores to
 	// spare beyond its session concurrency. Off by default.
 	ShardSessions bool
+	// Logger receives the server's structured log events (session
+	// lifecycle, parks, sheds, shutdown). nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryHint == 0 {
 		c.RetryHint = 500 * time.Millisecond
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -160,6 +168,10 @@ type idleConn struct {
 	net.Conn
 	timeout time.Duration
 	cancel  context.CancelCauseFunc
+	// bytes counts every byte read off the transport (the
+	// tsserved_ingest_bytes_total series); nil in tests that build bare
+	// idleConns.
+	bytes *obs.Counter
 	// teardown is set when a Read failed due to the armed deadline or a
 	// closed conn. Written and read on the session's goroutine only.
 	teardown bool
@@ -170,6 +182,9 @@ func (c *idleConn) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	n, err := c.Conn.Read(p)
+	if n > 0 && c.bytes != nil {
+		c.bytes.Add(float64(n))
+	}
 	if err != nil {
 		var ne net.Error
 		switch {
@@ -242,7 +257,9 @@ type Server struct {
 	conns   int
 	drainCh chan struct{}
 
-	start time.Time
+	start   time.Time
+	metrics *serverMetrics
+	log     *slog.Logger
 }
 
 // session is the server-side state of one connection's stream.
@@ -327,7 +344,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 func NewServer(ln net.Listener, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	baseCtx, cancelAll := context.WithCancelCause(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		ln:        ln,
 		slots:     make(chan struct{}, cfg.MaxSessions),
@@ -336,7 +353,10 @@ func NewServer(ln net.Listener, cfg Config) *Server {
 		sessions:  make(map[uint64]*session),
 		parked:    make(map[string]*parkedSession),
 		start:     time.Now(),
+		log:       cfg.Logger,
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
 // Addr returns the bound ingest address (useful with ":0").
@@ -404,6 +424,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.ln.Close()
 	}
 
+	if !already {
+		s.log.Info("shutdown: draining")
+	}
 	if done == nil {
 		s.closeParked()
 		return nil
@@ -479,6 +502,7 @@ func (s *Server) expirePark(p *parkedSession, gen int) {
 	delete(s.parked, p.token)
 	s.mu.Unlock()
 	s.totalExpired.Add(1)
+	s.log.Info("parked session expired", "label", p.label, "frames", p.frames, "records", p.records)
 	if p.ts != nil {
 		p.ts.Close()
 	}
@@ -575,7 +599,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.register(sess)
 	s.totalSessions.Add(1)
 
-	ic := &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout, cancel: cancel}
+	ic := &idleConn{Conn: conn, timeout: s.cfg.IdleTimeout, cancel: cancel, bytes: s.metrics.bytesRead}
 	cw := &ctlWriter{conn: conn, bw: bufio.NewWriter(conn), timeout: s.cfg.IdleTimeout}
 	res, probe, fail := s.runSession(ctx, sess, ic, cw)
 	if probe != nil {
@@ -623,6 +647,27 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	sess.finished = time.Now()
 	s.mu.Unlock()
+
+	dur := sess.finished.Sub(sess.started).Seconds()
+	attrs := []any{
+		"session", sess.id, "label", sess.label, "remote", sess.remote,
+		"records", sess.records.Load(), "seconds", dur,
+	}
+	switch {
+	case fail == nil:
+		s.metrics.closeSeconds.With("done").Observe(dur)
+		s.log.Info("session done", append(attrs,
+			"stream_frac", res.StreamFrac, "mpki", res.MPKI)...)
+	case fail.parked:
+		s.metrics.closeSeconds.With("parked").Observe(dur)
+		s.log.Warn("session parked", append(attrs,
+			"code", string(fail.code), "error", fail.err.Error())...)
+	default:
+		s.metrics.failedByCode.With(string(fail.code)).Inc()
+		s.metrics.closeSeconds.With("failed").Observe(dur)
+		s.log.Warn("session failed", append(attrs,
+			"code", string(fail.code), "error", fail.err.Error())...)
+	}
 
 	cw.writeLine(resp) // best effort: the peer may be gone
 }
@@ -970,12 +1015,8 @@ func (s *Server) Stats() Stats {
 }
 
 // StatsHandler serves the live stats snapshot as JSON (mount on an HTTP
-// mux, e.g. tsserved's -stats listener).
+// mux, e.g. tsserved's -stats listener — obs.NewMux pairs it with the
+// Registry's /metrics).
 func (s *Server) StatsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(s.Stats())
-	})
+	return obs.JSONHandler(func() any { return s.Stats() })
 }

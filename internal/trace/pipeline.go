@@ -1,6 +1,9 @@
 package trace
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/par"
 )
 
@@ -60,6 +63,53 @@ type Pipelined struct {
 
 	finished bool
 	closed   bool
+
+	chunks         atomic.Uint64 // chunks pushed through the ring
+	freelistMiss   atomic.Uint64 // newChunk allocations (free list empty)
+	consumerBusyNs atomic.Int64  // time the consumer spent inside dst
+}
+
+// PipeStats is one pipeline's tracing snapshot: where its wall-clock
+// slack went. ProducerStalls counts parks on a full ring (the consumer
+// — analysis — was the bottleneck); ConsumerStalls counts parks on an
+// empty ring (the producer — simulation — was). Chunks and
+// FreelistMisses size the traffic and the recycling hit rate;
+// ConsumerBusySeconds is time actually spent inside the wrapped sink,
+// the denominator that turns stall counts into utilization.
+type PipeStats struct {
+	ProducerStalls      uint64  `json:"producer_stalls"`
+	ConsumerStalls      uint64  `json:"consumer_stalls"`
+	Chunks              uint64  `json:"chunks"`
+	FreelistMisses      uint64  `json:"freelist_misses"`
+	RingDepth           int     `json:"ring_depth"`
+	ConsumerBusySeconds float64 `json:"consumer_busy_seconds"`
+}
+
+// Stats returns the pipeline's counters so far. Safe to call from any
+// goroutine at any time; for a quiesced final value call after Close.
+func (p *Pipelined) Stats() PipeStats {
+	prod, cons := p.ring.Stalls()
+	return PipeStats{
+		ProducerStalls:      prod,
+		ConsumerStalls:      cons,
+		Chunks:              p.chunks.Load(),
+		FreelistMisses:      p.freelistMiss.Load(),
+		RingDepth:           p.ring.Cap(),
+		ConsumerBusySeconds: float64(p.consumerBusyNs.Load()) / 1e9,
+	}
+}
+
+// Add accumulates other into s (for totals across a run's pipelines).
+// RingDepth takes the max, being a configuration, not a flow count.
+func (s *PipeStats) Add(other PipeStats) {
+	s.ProducerStalls += other.ProducerStalls
+	s.ConsumerStalls += other.ConsumerStalls
+	s.Chunks += other.Chunks
+	s.FreelistMisses += other.FreelistMisses
+	s.ConsumerBusySeconds += other.ConsumerBusySeconds
+	if other.RingDepth > s.RingDepth {
+		s.RingDepth = other.RingDepth
+	}
 }
 
 var _ BatchSink = (*Pipelined)(nil)
@@ -94,11 +144,14 @@ func (p *Pipelined) consume() {
 		if !ok {
 			return
 		}
+		start := time.Now()
 		if it.fin {
 			p.dst.Finish(it.h)
+			p.consumerBusyNs.Add(int64(time.Since(start)))
 			continue
 		}
 		AppendAll(p.dst, it.ms)
+		p.consumerBusyNs.Add(int64(time.Since(start)))
 		select {
 		case p.free <- it.ms[:0]:
 		default:
@@ -112,6 +165,7 @@ func (p *Pipelined) newChunk() []Miss {
 	case c := <-p.free:
 		return c
 	default:
+		p.freelistMiss.Add(1)
 		return make([]Miss, 0, PipeChunk)
 	}
 }
@@ -122,6 +176,7 @@ func (p *Pipelined) push() {
 		return
 	}
 	p.ring.Push(pipeItem{ms: p.chunk})
+	p.chunks.Add(1)
 	p.chunk = p.newChunk()
 }
 

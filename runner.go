@@ -3,6 +3,7 @@ package tempstream
 import (
 	"context"
 	"iter"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/par"
@@ -166,10 +167,11 @@ func (r *Runner) Run(ctx context.Context, req Request) (*Experiment, error) {
 		p := trace.NewPipelined(s, depth)
 		return p, p
 	}
-	exp := &Experiment{App: req.App, Scale: req.Scale}
+	exp := &Experiment{App: req.App, Scale: req.Scale, Stages: &StageStats{}}
 	var mcErr, scErr error
 	g := par.Group{Pool: r.pool}
 	g.GoCtx(ctx, func() {
+		start := time.Now()
 		s := NewSession(workload.MultiChip.CPUCount(), expect, opts)
 		sink, p := pipe(s)
 		res, err := workload.RunStreamContext(ctx, req.config(workload.MultiChip), sink, nil)
@@ -177,7 +179,10 @@ func (r *Runner) Run(ctx context.Context, req Request) (*Experiment, error) {
 			// Drain the ring before touching the session: after this the
 			// session has seen every record (and, on success, the Finish).
 			p.Close()
+			exp.Stages.Pipeline[MultiChipCtx] = p.Stats()
 		}
+		exp.Stages.MultiChipSimSeconds = time.Since(start).Seconds()
+		exp.Stages.AnalyzeSeconds[MultiChipCtx] = s.BusySeconds()
 		if err != nil {
 			mcErr = err
 			s.Close()
@@ -191,6 +196,7 @@ func (r *Runner) Run(ctx context.Context, req Request) (*Experiment, error) {
 		exp.Contexts[MultiChipCtx] = cr
 	})
 	g.GoCtx(ctx, func() {
+		start := time.Now()
 		off := NewSession(workload.SingleChip.CPUCount(), expect, opts)
 		// The intra-chip stream runs up to 40x the off-chip target (the
 		// workload runner's measurement cap).
@@ -201,7 +207,12 @@ func (r *Runner) Run(ctx context.Context, req Request) (*Experiment, error) {
 		if offP != nil {
 			offP.Close()
 			intraP.Close()
+			exp.Stages.Pipeline[SingleChipCtx] = offP.Stats()
+			exp.Stages.Pipeline[IntraChipCtx] = intraP.Stats()
 		}
+		exp.Stages.SingleChipSimSeconds = time.Since(start).Seconds()
+		exp.Stages.AnalyzeSeconds[SingleChipCtx] = off.BusySeconds()
+		exp.Stages.AnalyzeSeconds[IntraChipCtx] = intra.BusySeconds()
 		if err != nil {
 			scErr = err
 			off.Close()

@@ -2,6 +2,7 @@ package tempstream
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/prefetch"
@@ -95,6 +96,11 @@ type Session struct {
 	// capacity-1 channel (reused across chunks, so sharding allocates
 	// nothing per chunk).
 	evDone chan struct{}
+	// busyNs accrues wall-clock spent inside consume — the session's
+	// analyze time, as distinct from the simulate time of whoever drives
+	// it. Plain field: a Session is single-goroutine by contract, and
+	// readers (BusySeconds) are documented to run after the drive.
+	busyNs int64
 }
 
 var _ trace.BatchSink = (*Session)(nil)
@@ -153,6 +159,8 @@ func (s *Session) flush() {
 // — and consume joins before returning, so the caller still sees a
 // strictly serial Sink.
 func (s *Session) consume(ms []trace.Miss) {
+	start := time.Now()
+	defer func() { s.busyNs += int64(time.Since(start)) }()
 	if s.evDone != nil && len(ms) > 0 {
 		go func() {
 			for i := range ms {
@@ -273,6 +281,13 @@ func (s *Session) Close() error {
 	}
 	return nil
 }
+
+// BusySeconds reports wall-clock spent inside the session's consumers
+// (analyzer feed, prefetcher, trace materialization) so far — the
+// "analyze" side of a run's simulate/analyze split. Read it from the
+// driving goroutine, or after the drive has quiesced (after Finish, or
+// after a wrapping Pipelined's Close).
+func (s *Session) BusySeconds() float64 { return float64(s.busyNs) / 1e9 }
 
 // Abandon discards a session without computing results.
 //

@@ -149,6 +149,42 @@ type Experiment struct {
 	// footprints, kernel statistics).
 	MultiChip  *workload.Result
 	SingleChip *workload.Result
+	// Stages traces where the run's wall-clock went (simulate vs analyze
+	// per machine and context, pipeline stall counters). Always populated
+	// by Runner.Run; nil on experiments built by other paths (deprecated
+	// batch entrypoints, hand-assembled tests).
+	Stages *StageStats
+}
+
+// StageStats is one run's stage-level trace: the simulate/analyze
+// wall-clock split and, for pipelined runs, the SPSC ring counters that
+// say which side stalled. It answers "where did this run's time go"
+// without a profiler — tsbench folds the counters into BENCH artifacts,
+// and the /metrics totals on long-running processes aggregate the same
+// numbers fleet-wide.
+type StageStats struct {
+	// MultiChipSimSeconds and SingleChipSimSeconds are each machine
+	// task's wall-clock: simulation plus — for a serial drive — the
+	// analysis work interleaved on the same goroutine. The two tasks run
+	// concurrently, so they overlap rather than sum.
+	MultiChipSimSeconds  float64 `json:"multi_chip_sim_seconds"`
+	SingleChipSimSeconds float64 `json:"single_chip_sim_seconds"`
+	// AnalyzeSeconds is wall-clock inside each context's Session
+	// consumers (indexed by Context) — on a pipelined run this time is
+	// on the consumer goroutine, overlapped with simulation.
+	AnalyzeSeconds [NumContexts]float64 `json:"analyze_seconds"`
+	// Pipeline holds each context's ring counters (indexed by Context);
+	// zero-valued for serial runs, which cross no ring.
+	Pipeline [NumContexts]trace.PipeStats `json:"pipeline"`
+}
+
+// PipelineTotal sums the per-context pipeline counters.
+func (st *StageStats) PipelineTotal() trace.PipeStats {
+	var total trace.PipeStats
+	for i := range st.Pipeline {
+		total.Add(st.Pipeline[i])
+	}
+	return total
 }
 
 // Context returns the result for one analysis context, or nil when c is
