@@ -28,8 +28,10 @@
 // mid-stream failure fails the session.
 //
 // -json emits the run summary as a single JSON object on stdout — job
-// and failure counts, aggregate records/sec, and the recovery counters —
-// for harnesses (the fleet chaos e2e, CI) to parse; the human-readable
+// and failure counts, aggregate records/sec, the recovery counters, and
+// one entry per completed session carrying the server's full
+// SessionResult (digests included) — for harnesses (the fleet chaos
+// e2e, the archive-equivalence e2e, CI) to parse; the human-readable
 // lines move to stderr.
 //
 // Structured logs (slog, -log-format/-log-level) always go to stderr, so
@@ -52,6 +54,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -223,10 +226,16 @@ func main() {
 	var (
 		mu           sync.Mutex
 		failed       int
+		sessions     []sessionReport
 		totalRecords atomic.Int64
 		jobsDone     atomic.Int64
 		wg           sync.WaitGroup
 	)
+	collectSession := func(r sessionReport) {
+		mu.Lock()
+		sessions = append(sessions, r)
+		mu.Unlock()
+	}
 	jobCh := make(chan job)
 	start := time.Now()
 
@@ -265,7 +274,7 @@ func main() {
 				if ctx.Err() != nil {
 					continue // interrupted: drain the queue without dialing new sessions
 				}
-				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords, human)
+				err := runJob(ctx, fl, j, scale, *seed, *target, *intra, &totalRecords, human, collectSession)
 				jobsDone.Add(1)
 				if errors.Is(err, context.Canceled) {
 					continue // reported once below, not per job
@@ -303,6 +312,8 @@ dispatch:
 		logger.Info("recovery", retryAttrs(r)...)
 	}
 	if *jsonOut {
+		// Deterministic session order regardless of worker scheduling.
+		sort.Slice(sessions, func(i, k int) bool { return sessions[i].Label < sessions[k].Label })
 		summary := struct {
 			Jobs           int                `json:"jobs"`
 			FailedSessions int                `json:"failed_sessions"`
@@ -311,6 +322,7 @@ dispatch:
 			RecordsPerSec  float64            `json:"records_per_sec"`
 			Interrupted    bool               `json:"interrupted"`
 			Recovery       *server.RetryStats `json:"recovery,omitempty"`
+			Sessions       []sessionReport    `json:"sessions,omitempty"`
 		}{
 			Jobs:           len(jobs),
 			FailedSessions: failed,
@@ -318,6 +330,7 @@ dispatch:
 			Seconds:        elapsed.Seconds(),
 			RecordsPerSec:  float64(recs) / elapsed.Seconds(),
 			Interrupted:    ctx.Err() != nil,
+			Sessions:       sessions,
 		}
 		if *resilient {
 			r := fl.retries
@@ -337,13 +350,22 @@ dispatch:
 	}
 }
 
+// sessionReport is one completed session in the -json summary: the
+// label the server saw and its full analysis result, digests included —
+// the currency the archive-equivalence e2e compares against tsquery.
+type sessionReport struct {
+	Label   string                `json:"label"`
+	Records int64                 `json:"records"`
+	Result  *server.SessionResult `json:"result"`
+}
+
 // runJob simulates one app/machine pair, streaming into one session (plus
 // an intra-chip session for CMP jobs when requested), and prints each
 // session's result line. A cancelled ctx stops the simulation mid-step;
 // the half-fed sessions are closed (their deferred Close) and ctx's
 // error is returned.
 func runJob(ctx context.Context, fl *fleet, j job, scale workload.Scale, seed int64, target int,
-	intra bool, totalRecords *atomic.Int64, human io.Writer) error {
+	intra bool, totalRecords *atomic.Int64, human io.Writer, collect func(sessionReport)) error {
 	label := fmt.Sprintf("%v/%v", j.app, j.machine)
 	off, err := fl.dial(label, j.machine.CPUCount())
 	if err != nil {
@@ -379,6 +401,7 @@ func runJob(ctx context.Context, fl *fleet, j job, scale workload.Scale, seed in
 			return err
 		}
 		totalRecords.Add(cs.Records())
+		collect(sessionReport{Label: label, Records: cs.Records(), Result: res})
 		fmt.Fprintf(human, "  %-22s records=%-8d window=%-7d streams=%5.1f%% mpki=%7.3f %8.0f records/sec\n",
 			label, cs.Records(), res.Window, 100*res.StreamFrac, res.MPKI,
 			float64(cs.Records())/simSecs)

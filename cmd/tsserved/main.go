@@ -9,8 +9,8 @@
 // Usage:
 //
 //	tsserved [-addr :7465] [-stats :7466] [-max-sessions 16] [-max-window N]
-//	         [-max-queue N] [-resume-grace 30s] [-chaos SPEC] [-config FILE]
-//	         [-log-format text|json] [-log-level LEVEL] [-pprof]
+//	         [-max-queue N] [-resume-grace 30s] [-archive DIR] [-chaos SPEC]
+//	         [-config FILE] [-log-format text|json] [-log-level LEVEL] [-pprof]
 //
 // The -stats listener serves a JSON snapshot on /stats (aggregate ingest
 // counters plus one row per session), Prometheus text-format metrics on
@@ -28,6 +28,15 @@
 // protocol (server.DialResilient, tsload's default) may reconnect after
 // a mid-stream failure and continue the same analysis; the interrupted
 // session's state is parked for -resume-grace.
+//
+// -archive DIR tees every accepted session into the managed archive
+// store at DIR (internal/store): the exact record stream each analysis
+// consumed is re-encoded to a TSW1 archive and committed to the store's
+// manifest when the session completes, so cmd/tsquery can re-run or
+// extend any historical analysis offline. Archiving is best-effort —
+// a store failure is logged and the live session proceeds — and the
+// store's occupancy metrics (store_archives, store_bytes,
+// store_compactions_total) join the /metrics exposition.
 //
 // -chaos injects deterministic transport faults (resets, corruption,
 // partial writes, stalls; see internal/faultnet) into every accepted
@@ -54,6 +63,7 @@ import (
 	"repro/internal/faultnet"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -68,6 +78,7 @@ func main() {
 	resumeGrace := flag.Duration("resume-grace", 0, "how long an interrupted resumable session's state is parked for resumption (0 = 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
 	shardSessions := flag.Bool("shard-sessions", false, "fan each session's analysis consumers across goroutines per decoded chunk (identical results; useful with spare cores)")
+	archiveDir := flag.String("archive", "", "tee every accepted session into the managed archive store at this directory (query it with tsquery)")
 	chaos := flag.String("chaos", "", "deterministic fault-injection spec for accepted connections, e.g. seed=7,reset=262144,partial=1 (testing only)")
 	configFile := flag.String("config", "", "config file with flag defaults (key=value lines or a JSON object); explicit flags win")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the stats listener")
@@ -101,6 +112,18 @@ func main() {
 		fatal(err)
 	}
 
+	var archive *store.Store
+	if *archiveDir != "" {
+		var damaged []error
+		archive, damaged, err = store.Open(*archiveDir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range damaged {
+			fmt.Fprintf(os.Stderr, "tsserved: archive store: %v (entry excluded)\n", d)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -113,9 +136,17 @@ func main() {
 		QueueTimeout:  *queueTimeout,
 		IdleTimeout:   *idleTimeout,
 		ResumeGrace:   *resumeGrace,
+		Archive:       archive,
 		ShardSessions: *shardSessions,
 		Logger:        logger,
 	})
+	if archive != nil {
+		// The store's families join the server registry, so the one
+		// /metrics surface carries warehouse occupancy next to ingest.
+		archive.RegisterMetrics(srv.Registry())
+		fmt.Printf("tsserved: archiving sessions to %s (%d archives, %d bytes)\n",
+			archive.Dir(), archive.Archives(), archive.Bytes())
+	}
 	fmt.Printf("tsserved: listening on %s (max-sessions=%d)\n", srv.Addr(), *maxSessions)
 	if spec.Enabled() {
 		fmt.Printf("tsserved: CHAOS fault injection on every connection: %s\n", spec)

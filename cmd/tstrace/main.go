@@ -9,6 +9,7 @@
 //	tstrace -app oltp -machine multi [-scale small] [-n 1000] [-intra]
 //	tstrace -app oltp -machine multi -stream [-window 5000]
 //	tstrace -app oltp -machine multi -record trace.tsw
+//	tstrace -app oltp -machine multi -store archives/
 //	tstrace -replay trace.tsw [-n 1000]
 //	tstrace -replay trace.tsw -stream [-window 5000]
 //
@@ -28,6 +29,11 @@
 // place of running a simulation, driving exactly the sinks a live run
 // would drive. Record→replay is byte-identical: replayed analyses
 // reproduce the in-process results field for field.
+//
+// -store DIR records into the managed archive store (internal/store)
+// instead of a bare file: the archive is committed under DIR's manifest
+// with the run's full identity (app, machine, scale, seed), so tsquery
+// can select it later by workload predicates instead of file paths.
 //
 // Every simulating mode runs under one signal context: SIGINT/SIGTERM
 // stops the engine within one step (mid-warmup or mid-measurement) and
@@ -49,9 +55,12 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/par"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -76,6 +85,7 @@ func main() {
 	window := flag.Int("window", 5000, "misses per analysis window in -stream mode")
 	pipeline := flag.Int("pipeline", 0, "in -stream mode, decouple simulation from analysis over an SPSC ring this many chunks deep (0 = serial; results are identical either way)")
 	record := flag.String("record", "", "write the selected miss stream to this wire-format archive instead of dumping text")
+	storeDir := flag.String("store", "", "record the selected miss stream into the managed archive store at this directory (manifest-indexed; query with tsquery)")
 	replay := flag.String("replay", "", "read the miss stream from this wire-format archive instead of simulating")
 	flag.Parse()
 
@@ -102,6 +112,9 @@ func main() {
 	}
 	if *record != "" && *stream {
 		fatal(fmt.Errorf("-record and -stream are mutually exclusive (replay the archive with -replay -stream)"))
+	}
+	if *storeDir != "" && (*record != "" || *replay != "" || *stream) {
+		fatal(fmt.Errorf("-store is a recording destination: it cannot combine with -record, -replay, or -stream"))
 	}
 
 	// One signal context governs every simulating mode below:
@@ -138,6 +151,20 @@ func main() {
 			fatal(fmt.Errorf("-record requires a single machine (-machine multi or single)"))
 		}
 		err := recordFile(ctx, *record, app, machines[0], scale, *seed, *target, *intra)
+		if errors.Is(err, context.Canceled) {
+			interrupted()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *storeDir != "" {
+		if len(machines) != 1 {
+			fatal(fmt.Errorf("-store requires a single machine (-machine multi or single)"))
+		}
+		err := recordStore(ctx, *storeDir, app, machines[0], scale, *seed, *target, *intra)
 		if errors.Is(err, context.Canceled) {
 			interrupted()
 		}
@@ -244,6 +271,53 @@ func recordFile(ctx context.Context, path string, app workload.App, machine work
 	fmt.Printf("tstrace: recorded %d misses (%s, %v, %v) to %s: %d bytes, %.2f bytes/miss\n",
 		enc.Records(), app, machine, scale, path, fi.Size(),
 		float64(fi.Size())/float64(max(enc.Records(), 1)))
+	return nil
+}
+
+// recordStore streams one configuration's selected miss stream into the
+// managed archive store: the store's Writer is the measurement sink, and
+// Commit publishes the archive plus a manifest entry carrying the full
+// workload identity (app, machine, scale, seed). Crash-safety is the
+// store's: an interrupt mid-record aborts the temp file and the manifest
+// never mentions the run.
+func recordStore(ctx context.Context, dir string, app workload.App, machine workload.MachineKind,
+	scale workload.Scale, seed int64, target int, intra bool) error {
+	s, damaged, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	for _, d := range damaged {
+		fmt.Fprintf(os.Stderr, "tstrace: store: %v (entry excluded)\n", d)
+	}
+	meta := store.Meta{
+		App:     strings.ToLower(app.String()),
+		Machine: machine.String(),
+		Scale:   scale.String(),
+		Seed:    seed,
+	}
+	w, err := s.NewWriter(meta, machine.CPUCount())
+	if err != nil {
+		return err
+	}
+	cfg := workload.Config{App: app, Machine: machine, Scale: scale, Seed: seed, TargetMisses: target}
+	var res *workload.Result
+	if intra {
+		res, err = workload.RunStreamContext(ctx, cfg, nil, w)
+	} else {
+		res, err = workload.RunStreamContext(ctx, cfg, w, nil)
+	}
+	if err != nil {
+		w.Abort()
+		return err
+	}
+	w.SetSymbols(wire.FuncsOf(res.SymTab))
+	entry, err := w.Commit()
+	if err != nil {
+		w.Abort()
+		return err
+	}
+	fmt.Printf("tstrace: recorded %d misses (%s, %v, %v, seed %d) to store %s as %s: %d bytes, %s\n",
+		entry.Records, app, machine, scale, seed, dir, entry.ID, entry.Bytes, entry.Digest)
 	return nil
 }
 

@@ -314,7 +314,7 @@ func LintNames(fams []*Family) []string {
 }
 
 // allowedPrefixes are the subsystem namespaces the fleet exports.
-var allowedPrefixes = []string{"tsserved_", "tsgate_", "tspipe_", "go_", "process_"}
+var allowedPrefixes = []string{"tsserved_", "tsgate_", "tspipe_", "store_", "go_", "process_"}
 
 func lintName(name, typ string) []string {
 	var problems []string

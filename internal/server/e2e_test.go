@@ -3,23 +3,28 @@ package server_test
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
-// buildBinaries compiles tsserved and tsload (race-instrumented when this
-// test binary is) into a temp dir and returns it.
-func buildBinaries(t *testing.T) string {
+// buildBinaries compiles tsserved and tsload plus any extra commands
+// (race-instrumented when this test binary is) into a temp dir and
+// returns it.
+func buildBinaries(t *testing.T, extra ...string) string {
 	t.Helper()
 	goTool, err := exec.LookPath("go")
 	if err != nil {
@@ -30,7 +35,7 @@ func buildBinaries(t *testing.T) string {
 	if raceEnabled {
 		buildArgs = append(buildArgs, "-race")
 	}
-	for _, cmd := range []string{"tsserved", "tsload"} {
+	for _, cmd := range append([]string{"tsserved", "tsload"}, extra...) {
 		args := append(buildArgs, "-o", filepath.Join(dir, cmd), "./cmd/"+cmd)
 		build := exec.Command(goTool, args...)
 		build.Dir = repoRoot(t)
@@ -317,6 +322,107 @@ func TestEndToEndChaos(t *testing.T) {
 		t.Errorf("chaos run lost %d sessions' resume state within the grace window", resumeLost)
 	}
 	d.shutdown(t)
+}
+
+// TestEndToEndArchive closes the live→historical loop as shipped:
+// tsserved runs with -archive, tsload drives four sessions through it
+// with -json capturing each session's server-returned SessionResult,
+// and tsquery then re-analyzes the archived streams offline. Every
+// archive must re-analyze to the exact result the server returned for
+// the session that produced it — scalars and digests — proving the
+// warehouse path (tee → TSW1 archive → manifest → query → Session) is
+// byte-faithful to the live ingest path. The store's occupancy metrics
+// must ride the daemon's /metrics surface, and the manifest is captured
+// as a CI artifact.
+func TestEndToEndArchive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary archive end-to-end in short mode")
+	}
+	dir := buildBinaries(t, "tsquery")
+	archDir := t.TempDir()
+	d := startDaemon(t, dir, "-max-sessions", "4", "-archive", archDir, "-stats", "127.0.0.1:0")
+
+	load := exec.Command(filepath.Join(dir, "tsload"),
+		"-addr", d.addr, "-clients", "2", "-apps", "apache,oltp",
+		"-machine", "both", "-target", "4000", "-seed", "5", "-json")
+	load.Dir = repoRoot(t)
+	load.Stderr = os.Stderr
+	loadOut, err := load.Output()
+	if err != nil {
+		t.Fatalf("tsload: %v", err)
+	}
+	var summary struct {
+		FailedSessions int `json:"failed_sessions"`
+		Sessions       []struct {
+			Label  string                `json:"label"`
+			Result *server.SessionResult `json:"result"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal(loadOut, &summary); err != nil {
+		t.Fatalf("parsing tsload -json output: %v\n%s", err, loadOut)
+	}
+	if summary.FailedSessions != 0 || len(summary.Sessions) != 4 {
+		t.Fatalf("tsload summary: %d failed, %d sessions, want 0 failed / 4 sessions\n%s",
+			summary.FailedSessions, len(summary.Sessions), loadOut)
+	}
+
+	// The store families ride the daemon's /metrics surface, and the
+	// warehouse gauge shows every session landed.
+	body := scrapeMetrics(t, d.statsAddr, []string{"store_archives", "store_bytes", "store_compactions_total"})
+	fams, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("reparsing scrape: %v", err)
+	}
+	for _, f := range fams {
+		if f.Name == "store_archives" && (len(f.Samples) != 1 || f.Samples[0].Value != 4) {
+			t.Errorf("store_archives = %+v after 4 sessions, want 4", f.Samples)
+		}
+	}
+	d.shutdown(t)
+
+	// tsquery re-analyzes every archive; each must reproduce the exact
+	// SessionResult the server returned for its session.
+	query := exec.Command(filepath.Join(dir, "tsquery"), "analyze", "-dir", archDir, "-json")
+	query.Stderr = os.Stderr
+	queryOut, err := query.Output()
+	if err != nil {
+		t.Fatalf("tsquery analyze: %v", err)
+	}
+	var analyzed []struct {
+		Entry  store.Entry           `json:"entry"`
+		Result *server.SessionResult `json:"result"`
+	}
+	if err := json.Unmarshal(queryOut, &analyzed); err != nil {
+		t.Fatalf("parsing tsquery -json output: %v\n%s", err, queryOut)
+	}
+	if len(analyzed) != 4 {
+		t.Fatalf("tsquery analyzed %d archives, want 4\n%s", len(analyzed), queryOut)
+	}
+	want := make(map[string]*server.SessionResult, len(summary.Sessions))
+	for _, sess := range summary.Sessions {
+		want[sess.Label] = sess.Result
+	}
+	for _, a := range analyzed {
+		w, ok := want[a.Entry.Label]
+		if !ok {
+			t.Errorf("archive %s carries label %q with no matching session", a.Entry.ID, a.Entry.Label)
+			continue
+		}
+		if !reflect.DeepEqual(a.Result, w) {
+			t.Errorf("archive %s (%s): offline analysis differs from server result\n got: %+v\nwant: %+v",
+				a.Entry.ID, a.Entry.Label, a.Result, w)
+		}
+		delete(want, a.Entry.Label)
+	}
+	for label := range want {
+		t.Errorf("session %q was never archived", label)
+	}
+
+	manifest, err := os.ReadFile(filepath.Join(archDir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	saveScrape(t, "archive-manifest.json", manifest)
 }
 
 // repoRoot locates the module root (two levels above this package).

@@ -19,6 +19,7 @@ import (
 	tempstream "repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -113,6 +114,17 @@ type Config struct {
 	// RetryHint is the backoff hint (retry_after_ms) attached to busy
 	// and draining responses. 0 means 500ms.
 	RetryHint time.Duration
+	// Archive, when non-nil, tees every accepted session's decoded
+	// stream into the managed archive store: the records feed the
+	// analyzer and a store.Writer side by side, and the archive commits
+	// (manifest entry included) when the stream finishes cleanly. An
+	// interrupted resumable session keeps its writer parked with its
+	// analyzer, so the committed archive covers the whole logical
+	// stream across reconnects. Archiving is best-effort by design: a
+	// store failure is logged and the ingest session proceeds —
+	// answering the client is the daemon's job, the warehouse only
+	// rides along.
+	Archive *store.Store
 	// ShardSessions fans each analysis session's independent consumers
 	// (analyzer feed and prefetcher evaluation) across goroutines per
 	// decoded chunk (tempstream.StreamOptions.ShardConsumers). Results
@@ -292,6 +304,7 @@ type parkedSession struct {
 	label   string
 	cpus    int
 	ts      *tempstream.Session
+	aw      *store.Writer // in-flight archive tee, parked with the analyzer
 	chain   []uint64
 	frames  int64
 	records int64
@@ -464,9 +477,7 @@ func (s *Server) park(p *parkedSession) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		if p.ts != nil {
-			p.ts.Close()
-		}
+		p.discard()
 		return
 	}
 	p.gen++
@@ -503,9 +514,7 @@ func (s *Server) expirePark(p *parkedSession, gen int) {
 	s.mu.Unlock()
 	s.totalExpired.Add(1)
 	s.log.Info("parked session expired", "label", p.label, "frames", p.frames, "records", p.records)
-	if p.ts != nil {
-		p.ts.Close()
-	}
+	p.discard()
 }
 
 // closeParked discards every parked session (at end of Shutdown, after
@@ -520,9 +529,21 @@ func (s *Server) closeParked() {
 	s.mu.Unlock()
 	for _, p := range ps {
 		p.timer.Stop()
-		if p.ts != nil {
-			p.ts.Close()
-		}
+		p.discard()
+	}
+}
+
+// discard drops a parked session's live state: the analyzer goes back
+// to its pool, and any in-flight archive tee is aborted (no manifest
+// entry, temp removed) — a stream that never finished must not surface
+// as an archive.
+func (p *parkedSession) discard() {
+	if p.ts != nil {
+		p.ts.Close()
+	}
+	if p.aw != nil {
+		p.aw.Abort()
+		p.aw = nil
 	}
 }
 
@@ -845,16 +866,18 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 	}
 
 	var ts *tempstream.Session
+	var aw *store.Writer // archive tee, when Config.Archive is set
 	if parked != nil {
 		if meta.CPUs != parked.cpus {
-			parked.ts.Close()
+			parked.discard()
 			return nil, nil, failf(CodeBadRequest, "resumed stream declares %d cpus, session was %d", meta.CPUs, parked.cpus)
 		}
 		if err := dec.SetProgress(parked.chain, parked.frames, parked.records); err != nil {
-			parked.ts.Close()
+			parked.discard()
 			return nil, nil, failf(CodeBadRequest, "restoring resume progress: %v", err)
 		}
 		ts = parked.ts
+		aw = parked.aw
 		sess.records.Store(parked.records)
 	} else {
 		// A per-CPU prefetcher allocates one engine per processor, so the
@@ -871,9 +894,34 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 			Prefetch:       req.Prefetch,
 			ShardConsumers: s.cfg.ShardSessions,
 		})
+		if s.cfg.Archive != nil {
+			var awErr error
+			aw, awErr = s.cfg.Archive.NewWriter(store.Meta{Label: sess.label}, meta.CPUs)
+			if awErr != nil {
+				// Best-effort: the warehouse must never fail ingest.
+				s.log.Warn("archive writer unavailable; session not archived",
+					"label", sess.label, "error", awErr)
+				aw = nil
+			}
+		}
 	}
 
-	if _, err := dec.Run(&countingSink{inner: ts, n: &sess.records}); err != nil {
+	var sink trace.Sink = &countingSink{inner: ts, n: &sess.records}
+	if aw != nil {
+		sink = trace.Tee{sink, aw}
+	}
+	if tr, err := dec.Run(sink); err == nil {
+		if aw != nil {
+			aw.SetSymbols(tr.Funcs)
+			if entry, commitErr := aw.Commit(); commitErr != nil {
+				s.log.Warn("archive commit failed; session not archived",
+					"label", sess.label, "error", commitErr)
+			} else {
+				s.log.Info("session archived",
+					"label", sess.label, "archive", entry.ID, "records", entry.Records, "bytes", entry.Bytes)
+			}
+		}
+	} else {
 		// A resumable stream that died at a clean frame boundary parks
 		// its analyzer state for the grace window; anything else (partial
 		// frame delivered, totals mismatch, plain session) discards it.
@@ -885,6 +933,7 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 				label:   sess.label,
 				cpus:    meta.CPUs,
 				ts:      ts,
+				aw:      aw, // the archive tee continues across the resume
 				chain:   chain,
 				frames:  frames,
 				records: records,
@@ -892,6 +941,9 @@ func (s *Server) runSession(ctx context.Context, sess *session, ic *idleConn, cw
 			return nil, nil, &sessionFailure{code: CodeStream, err: err, parked: true}
 		}
 		ts.Close()
+		if aw != nil {
+			aw.Abort()
+		}
 		return nil, nil, &sessionFailure{code: CodeStream, err: err}
 	}
 	s.totalRecords.Add(sess.records.Load())

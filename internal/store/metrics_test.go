@@ -1,0 +1,52 @@
+package store_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/trace/sinktest"
+)
+
+// TestStoreMetricsExposition pins the store's metric families — names,
+// kinds, lint cleanliness, and that the sampled values track the store.
+func TestStoreMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	for name, kind := range map[string]obs.Kind{
+		"store_archives":          obs.KindGauge,
+		"store_bytes":             obs.KindGauge,
+		"store_compactions_total": obs.KindCounter,
+	} {
+		if k, ok := reg.KindOf(name); !ok || k != kind {
+			t.Fatalf("family %s: kind %q registered %v, want %q", name, k, ok, kind)
+		}
+	}
+
+	e := writeArchive(t, s, store.Meta{App: "zeus"}, sinktest.Misses(4000, 2), sinktest.Header(4000, 2), nil)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	fams, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if problems := obs.LintNames(fams); len(problems) != 0 {
+		t.Fatalf("naming lint: %v", problems)
+	}
+	values := map[string]float64{}
+	for _, f := range fams {
+		for _, sm := range f.Samples {
+			values[sm.Name] = sm.Value
+		}
+	}
+	if values["store_archives"] != 1 || values["store_bytes"] != float64(e.Bytes) {
+		t.Fatalf("exposed archives=%v bytes=%v, want 1/%d", values["store_archives"], values["store_bytes"], e.Bytes)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 
 	"repro/internal/trace"
 )
@@ -42,6 +43,21 @@ type Decoder struct {
 	batch   []trace.Miss // reusable decoded-frame buffer (one sink delivery per frame)
 	read    bool         // header frame consumed
 	err     error
+
+	// Record-range delivery window (RunRange): when ranged, only records
+	// with stream position in [from, to) are delivered to the sink. The
+	// whole stream is still decoded and validated — the per-CPU delta
+	// chains need every record — so a ranged decode costs the same reads
+	// and checks as a full one, it just hands fewer records over.
+	ranged   bool
+	from, to int64
+
+	// trailer caches the decoded trailer once Run has consumed it, so
+	// consumers can ask for the symbol table (Symbols) without threading
+	// the Trailer return value around.
+	trailer   Trailer
+	trailerOK bool
+	symtab    *trace.SymbolTable // lazily built from trailer
 
 	frames   int64 // data frames fully delivered (cumulative across resumes)
 	records  int64 // records delivered (cumulative across resumes)
@@ -216,6 +232,35 @@ func varint(p []byte) (int64, []byte, bool) {
 // table). On error the sink has received a prefix of the records and no
 // Finish.
 func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
+	d.ranged = false
+	return d.run(sink)
+}
+
+// RunRange decodes the remainder of the stream but delivers only the
+// records whose stream position (0-based, across the whole stream) falls
+// in [from, to) — the sub-window decode behind archive-store record-range
+// queries. to < 0 means "to end of stream". The whole stream is still
+// read and validated (per-frame CRCs, the per-CPU delta chains, the
+// trailer's total record count), and Finish carries the stream's own
+// header — the archive's totals, not the sub-window's — so rate figures
+// (MPKI) keep referring to the recording the window was cut from.
+//
+// RunRange is a read-side selection, incompatible with the resume
+// protocol's progress accounting (Progress still reports decoded frames
+// and records, not delivered ones); archive consumers are its audience.
+func (d *Decoder) RunRange(sink trace.Sink, from, to int64) (Trailer, error) {
+	if from < 0 {
+		return Trailer{}, d.fail(ErrCorrupt, "negative range start %d", from)
+	}
+	if to < 0 {
+		to = math.MaxInt64
+	}
+	d.ranged = true
+	d.from, d.to = from, to
+	return d.run(sink)
+}
+
+func (d *Decoder) run(sink trace.Sink) (Trailer, error) {
 	if _, err := d.Meta(); err != nil {
 		return Trailer{}, err
 	}
@@ -266,6 +311,8 @@ func (d *Decoder) Run(sink trace.Sink) (Trailer, error) {
 			// it, because on a network connection the transport stays open
 			// (the ingest response travels back on it). File consumers use
 			// ReadAll (or ExpectEOF) to reject trailing garbage.
+			d.trailer = tr
+			d.trailerOK = true
 			sink.Finish(tr.Header)
 			return tr, nil
 		case kindHeader:
@@ -293,9 +340,13 @@ func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 	// The batch buffer grows by appending parsed records — never from the
 	// claimed count — so a hostile count cannot provoke a large
 	// allocation; it stays sized to the largest real frame seen.
+	//
+	// base is the stream position of the frame's first record: RunRange
+	// intersects [base, base+len) with its delivery window at flush.
+	base := d.records
 	batch := d.batch[:0]
 	flush := func() int64 {
-		trace.AppendAll(sink, batch)
+		d.deliver(sink, batch, base)
 		d.batch = batch[:0] // keep the grown capacity
 		return int64(len(batch))
 	}
@@ -340,6 +391,43 @@ func (d *Decoder) decodeData(p []byte, sink trace.Sink) (n int64, err error) {
 		return flush(), d.fail(ErrCorrupt, "trailing bytes in data frame")
 	}
 	return flush(), nil
+}
+
+// deliver hands a decoded frame (whose first record sits at stream
+// position base) to the sink — whole, or intersected with the RunRange
+// delivery window.
+func (d *Decoder) deliver(sink trace.Sink, batch []trace.Miss, base int64) {
+	if !d.ranged {
+		trace.AppendAll(sink, batch)
+		return
+	}
+	lo, hi := int64(0), int64(len(batch))
+	if d.from > base {
+		lo = d.from - base
+	}
+	if d.to < base+hi {
+		hi = d.to - base
+	}
+	if lo >= hi {
+		return
+	}
+	trace.AppendAll(sink, batch[lo:hi])
+}
+
+// Symbols returns the symbol table carried by the stream's trailer, for
+// module attribution of replayed records — the read-only accessor behind
+// `tsquery show` and `tstrace -replay`. It is valid once Run (or
+// RunRange) has consumed the trailer; before that, and for streams whose
+// trailer carried no symbols (network sessions), it returns the empty
+// static table, on which every FuncID resolves to "<unknown>".
+func (d *Decoder) Symbols() *trace.SymbolTable {
+	if !d.trailerOK {
+		return trace.NewStaticSymbolTable(nil)
+	}
+	if d.symtab == nil {
+		d.symtab = d.trailer.SymbolTable()
+	}
+	return d.symtab
 }
 
 // decodeTrailer parses the trailer payload.

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/sinktest"
+)
+
+// encodeStream serializes ms (with the given header and optional symbol
+// table) into a self-contained archive.
+func encodeStream(t *testing.T, ms []trace.Miss, h trace.Header, funcs []FuncMeta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, h.CPUs)
+	for _, m := range ms {
+		enc.Append(m)
+	}
+	enc.Finish(h)
+	if funcs != nil {
+		enc.SetSymbols(funcs)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunRangeMatchesSlice pins the sub-window decode against the
+// reference semantics: RunRange(sink, from, to) delivers exactly
+// full[from:to] (clamped), in order, with the stream's own header, for
+// window boundaries falling inside, on, and across frame boundaries.
+func TestRunRangeMatchesSlice(t *testing.T) {
+	const cpus = 4
+	// Enough records for three data frames, so ranges cross frame seams.
+	n := frameRecords*2 + 1234
+	ms := sinktest.Misses(n, cpus)
+	h := sinktest.Header(n, cpus)
+	raw := encodeStream(t, ms, h, nil)
+
+	ranges := [][2]int64{
+		{0, int64(n)},                            // full stream
+		{0, 10},                                  // prefix inside first frame
+		{int64(n) - 7, int64(n)},                 // suffix inside last frame
+		{100, 100},                               // empty window
+		{frameRecords - 3, frameRecords + 5},     // across the first seam
+		{frameRecords, frameRecords * 2},         // exactly one middle frame
+		{17, int64(n) - 17},                      // interior window
+		{int64(n) + 5, int64(n) + 10},            // beyond the end: empty
+		{frameRecords * 2, int64(n) + 1_000_000}, // clamped tail
+	}
+	for _, r := range ranges {
+		from, to := r[0], r[1]
+		dec := NewDecoder(bytes.NewReader(raw))
+		var got trace.Trace
+		tr, err := dec.RunRange(&got, from, to)
+		if err != nil {
+			t.Fatalf("RunRange(%d,%d): %v", from, to, err)
+		}
+		if err := dec.ExpectEOF(); err != nil {
+			t.Fatalf("RunRange(%d,%d): %v", from, to, err)
+		}
+		lo, hi := from, to
+		if hi > int64(n) {
+			hi = int64(n)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		want := ms[lo:hi]
+		if len(got.Misses) != len(want) {
+			t.Fatalf("RunRange(%d,%d): %d records, want %d", from, to, len(got.Misses), len(want))
+		}
+		for i := range want {
+			if got.Misses[i] != want[i] {
+				t.Fatalf("RunRange(%d,%d): record %d = %+v, want %+v", from, to, i, got.Misses[i], want[i])
+			}
+		}
+		// The header and trailer are the stream's own, not the window's.
+		if tr.Header != h || got.Instructions != h.Instructions || got.CPUs != h.CPUs {
+			t.Fatalf("RunRange(%d,%d): trailer %+v / header %d/%d, want %+v", from, to, tr.Header, got.Instructions, got.CPUs, h)
+		}
+	}
+
+	// to < 0 means "to end".
+	dec := NewDecoder(bytes.NewReader(raw))
+	var got trace.Trace
+	if _, err := dec.RunRange(&got, int64(n)-5, -1); err != nil {
+		t.Fatalf("RunRange(n-5, -1): %v", err)
+	}
+	if len(got.Misses) != 5 {
+		t.Fatalf("RunRange(n-5, -1): %d records, want 5", len(got.Misses))
+	}
+
+	// A negative start is rejected, not silently clamped.
+	dec = NewDecoder(bytes.NewReader(raw))
+	if _, err := dec.RunRange(&trace.Trace{}, -1, 10); err == nil {
+		t.Fatalf("RunRange(-1, 10): expected error")
+	}
+}
+
+// TestDecoderSymbols pins the read-only symbol-table accessor: before the
+// trailer it is the empty table; after Run it resolves the trailer's
+// functions exactly as Trailer.SymbolTable does.
+func TestDecoderSymbols(t *testing.T) {
+	const cpus = 2
+	ms := sinktest.Misses(100, cpus)
+	funcs := []FuncMeta{
+		{Name: "<unknown>", Category: trace.CatUnknown},
+		{Name: "mutex_enter", Category: trace.CatSync},
+		{Name: "sqlri_exec", Category: trace.CatDBInterpreter},
+	}
+	raw := encodeStream(t, ms, sinktest.Header(100, cpus), funcs)
+
+	dec := NewDecoder(bytes.NewReader(raw))
+	if st := dec.Symbols(); st.Len() != 1 || st.Func(1).Name != "<unknown>" {
+		t.Fatalf("pre-trailer Symbols: want the empty static table, got %d funcs", st.Len())
+	}
+	tr, err := dec.Run(trace.Discard{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := dec.Symbols()
+	if st.Len() != len(funcs) {
+		t.Fatalf("Symbols: %d funcs, want %d", st.Len(), len(funcs))
+	}
+	for i, f := range funcs {
+		got := st.Func(trace.FuncID(i))
+		if got.Name != f.Name || got.Category != f.Category {
+			t.Fatalf("Symbols func %d = %q/%v, want %q/%v", i, got.Name, got.Category, f.Name, f.Category)
+		}
+	}
+	if !reflect.DeepEqual(st.Funcs(), tr.SymbolTable().Funcs()) {
+		t.Fatalf("Symbols and Trailer.SymbolTable disagree")
+	}
+	if st2 := dec.Symbols(); st2 != st {
+		t.Fatalf("Symbols is rebuilt per call; want cached table")
+	}
+}
